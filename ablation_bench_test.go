@@ -1,0 +1,151 @@
+// Ablation benchmarks for the modelling choices DESIGN.md calls out:
+// the hotness replacement cap, the DSB→MITE switch penalty, and the
+// loop stream detector. Each reports a domain metric so the effect of
+// the design choice is visible next to Go's timing.
+package deaduops_test
+
+import (
+	"testing"
+
+	"deaduops/internal/asm"
+	"deaduops/internal/attack"
+	"deaduops/internal/channel"
+	"deaduops/internal/codegen"
+	"deaduops/internal/cpu"
+	"deaduops/internal/isa"
+)
+
+// calibrationSeparation builds a same-address-space channel on cfg and
+// returns miss/hit probe-time ratio (the raw signal strength).
+func calibrationSeparation(b *testing.B, cfg cpu.Config) float64 {
+	b.Helper()
+	c := cpu.New(cfg)
+	ch, err := channel.NewSameAddressSpace(c, channel.DefaultConfig())
+	if err != nil {
+		return 1 // no signal
+	}
+	th := ch.Threshold()
+	return th.MissMean / th.HitMean
+}
+
+// BenchmarkAblationHotnessCap sweeps the replacement policy's hotness
+// saturation. Cap 1 approximates a first-miss-evicts policy (which
+// would flatten the paper's Fig 5 diagonal); the model's default is 8.
+func BenchmarkAblationHotnessCap(b *testing.B) {
+	for _, cap := range []int{1, 2, 8, 64} {
+		b.Run(map[int]string{1: "cap1", 2: "cap2", 8: "cap8-default", 64: "cap64"}[cap],
+			func(b *testing.B) {
+				cfg := cpu.Intel()
+				cfg.UopCache.HotnessMax = cap
+				var sep float64
+				for i := 0; i < b.N; i++ {
+					sep = calibrationSeparation(b, cfg)
+				}
+				b.ReportMetric(sep, "miss/hit-ratio")
+			})
+	}
+}
+
+// BenchmarkAblationSwitchPenalty sweeps the DSB→MITE switch penalty.
+// With penalty 0 the signal comes purely from decode throughput; the
+// documented Skylake value is 1.
+func BenchmarkAblationSwitchPenalty(b *testing.B) {
+	for _, pen := range []int{0, 1, 4} {
+		b.Run(map[int]string{0: "pen0", 1: "pen1-default", 4: "pen4"}[pen],
+			func(b *testing.B) {
+				cfg := cpu.Intel()
+				cfg.UopCache.SwitchPenalty = pen
+				var sep float64
+				for i := 0; i < b.N; i++ {
+					sep = calibrationSeparation(b, cfg)
+				}
+				b.ReportMetric(sep, "miss/hit-ratio")
+			})
+	}
+}
+
+// BenchmarkAblationLCPPadding compares the paper's LCP-padded tiger
+// against a plain one: the length-changing prefixes are what stretch
+// the miss path and sharpen the timing contrast.
+func BenchmarkAblationLCPPadding(b *testing.B) {
+	measure := func(b *testing.B, spec *codegen.ChainSpec, other *codegen.ChainSpec) float64 {
+		recv, err := attack.Build(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		send, err := attack.Build(other)
+		if err != nil {
+			b.Fatal(err)
+		}
+		merged, err := asm.Merge(recv.Prog, send.Prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c := cpu.New(cpu.Intel())
+		c.LoadProgram(merged)
+		th, err := attack.Calibrate(c, recv, send, 20, 5, 4)
+		if err != nil {
+			return 1
+		}
+		return th.MissMean / th.HitMean
+	}
+	g := attack.DefaultGeometry()
+	b.Run("lcp-tiger", func(b *testing.B) {
+		var sep float64
+		for i := 0; i < b.N; i++ {
+			sep = measure(b, attack.Tiger(0x40000, g, "r"), attack.Tiger(0x80000, g, "s"))
+		}
+		b.ReportMetric(sep, "miss/hit-ratio")
+	})
+	b.Run("plain-tiger", func(b *testing.B) {
+		var sep float64
+		for i := 0; i < b.N; i++ {
+			sep = measure(b, attack.FastTiger(0x40000, g, "r"), attack.FastTiger(0x80000, g, "s"))
+		}
+		b.ReportMetric(sep, "miss/hit-ratio")
+	})
+}
+
+// BenchmarkAblationLSD measures a small hot loop with the loop stream
+// detector off (Skylake default, erratum SKL150) and on: with the LSD
+// replaying from the IDQ, front-end delivery no longer touches the
+// micro-op cache at all.
+func BenchmarkAblationLSD(b *testing.B) {
+	build := func(lsd int) (*cpu.CPU, uint64) {
+		bld := asm.New(0x10000)
+		bld.Label("entry")
+		bld.Label("loop")
+		bld.Nop(4)
+		bld.Nop(4)
+		bld.Subi(isa.R14, 1)
+		bld.Cmpi(isa.R14, 0)
+		bld.Jcc(isa.NE, "loop")
+		bld.Halt()
+		prog := bld.MustBuild()
+		cfg := cpu.Intel()
+		cfg.Frontend.LSDCapacity = lsd
+		c := cpu.New(cfg)
+		c.LoadProgram(prog)
+		c.SetReg(0, isa.R14, 100)
+		c.Run(0, prog.Entry, 1_000_000) // warm + train
+		return c, prog.Entry
+	}
+	for _, tc := range []struct {
+		name string
+		lsd  int
+	}{{"lsd-off-default", 0}, {"lsd-64uops", 64}} {
+		b.Run(tc.name, func(b *testing.B) {
+			c, entry := build(tc.lsd)
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				c.SetReg(0, isa.R14, 1000)
+				res := c.Run(0, entry, 10_000_000)
+				if res.TimedOut {
+					b.Fatal("timed out")
+				}
+				cycles += res.Cycles
+			}
+			b.ReportMetric(float64(cycles)/float64(b.N), "sim-cycles/op")
+		})
+	}
+}

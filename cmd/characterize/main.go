@@ -1,0 +1,34 @@
+// Command characterize runs the full §III characterization suite
+// (Figures 3-7): micro-op cache size, associativity, placement rules,
+// replacement policy, and SMT partitioning.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"deaduops/internal/experiments"
+)
+
+func main() {
+	var (
+		iters  = flag.Int("iters", 60, "measurement loop iterations")
+		warmup = flag.Int("warmup", 15, "warm-up iterations")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{Iterations: *iters, Warmup: *warmup}
+	suite := []string{"fig3a", "fig3b", "fig4", "fig5", "fig6a", "fig6b", "fig7a", "fig7b"}
+	for _, id := range suite {
+		start := time.Now()
+		out, err := experiments.Registry[id](opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(out.Render())
+		fmt.Printf("# %s completed in %v\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

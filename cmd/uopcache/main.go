@@ -1,0 +1,72 @@
+// Command uopcache runs any of the paper's experiments by id and
+// prints its data as text or CSV.
+//
+// Usage:
+//
+//	uopcache -list
+//	uopcache -exp fig3a [-iters 200] [-warmup 50] [-samples 8] [-csv]
+//	uopcache -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"deaduops/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (see -list), or \"all\"")
+		list    = flag.Bool("list", false, "list experiment ids")
+		iters   = flag.Int("iters", 0, "measurement loop iterations (0 = default)")
+		warmup  = flag.Int("warmup", 0, "warm-up iterations (0 = default)")
+		samples = flag.Int("samples", 0, "per-point samples / rounds (0 = default)")
+		seed    = flag.Uint64("seed", 0, "payload PRNG seed (0 = default)")
+		csv     = flag.Bool("csv", false, "CSV output where supported")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "usage: uopcache -exp <id> | -list")
+		os.Exit(2)
+	}
+
+	opts := experiments.Options{
+		Iterations: *iters,
+		Warmup:     *warmup,
+		Samples:    *samples,
+		Seed:       *seed,
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		fn, ok := experiments.Registry[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		out, err := fn(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *csv {
+			if fig, isFig := out.(*experiments.Figure); isFig {
+				fmt.Print(fig.CSV())
+				continue
+			}
+		}
+		fmt.Println(out.Render())
+	}
+}

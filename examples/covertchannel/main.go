@@ -1,0 +1,75 @@
+// Covert channel demo: a Trojan and a spy in the same address space
+// exchange a message purely through micro-op cache conflict timing
+// (§V-A), then repeat the trick across the user/kernel privilege
+// boundary. Reed-Solomon coding shows the error-corrected bandwidth of
+// Table I.
+//
+//	go run ./examples/covertchannel
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"deaduops/internal/channel"
+	"deaduops/internal/cpu"
+	"deaduops/internal/ecc"
+)
+
+func main() {
+	message := []byte("Attack at dawn. The micro-op cache sees everything.")
+
+	// --- Same address space -------------------------------------------------
+	c := cpu.New(cpu.Intel())
+	ch, err := channel.NewSameAddressSpace(c, channel.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	th := ch.Threshold()
+	fmt.Printf("same-address-space channel calibrated: hit %.0f / miss %.0f cycles\n",
+		th.HitMean, th.MissMean)
+
+	// Protect the payload with Reed-Solomon (~20%% redundancy), as the
+	// paper does for its error-corrected bandwidth numbers.
+	codec, err := ecc.NewCodec(42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	encoded, err := codec.Encode(message)
+	if err != nil {
+		log.Fatal(err)
+	}
+	received, res, err := ch.Transmit(encoded)
+	if err != nil {
+		log.Fatal(err)
+	}
+	decoded, err := codec.Decode(received, len(message))
+	if err != nil {
+		log.Fatalf("decode: %v", err)
+	}
+	fmt.Printf("sent      %q\n", message)
+	fmt.Printf("received  %q\n", decoded)
+	fmt.Printf("raw channel: %d bits, %.2f%% errors, %.1f Kbit/s (%.1f Kbit/s after coding)\n\n",
+		res.Bits, 100*res.ErrorRate(), res.BandwidthKbps(),
+		res.BandwidthKbps()/(1+codec.Overhead()))
+	if !bytes.Equal(decoded, message) {
+		log.Fatal("message corrupted beyond correction")
+	}
+
+	// --- Across the user/kernel boundary ------------------------------------
+	c2 := cpu.New(cpu.Intel())
+	uk, err := channel.NewUserKernel(c2, channel.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	kernelSecret := []byte("root:x:0:0:supersecret")
+	uk.WriteSecret(kernelSecret)
+	leaked, res2, err := uk.Leak(len(kernelSecret))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("kernel secret %q\n", kernelSecret)
+	fmt.Printf("spy leaked    %q via %d syscall-probe rounds (%.1f Kbit/s)\n",
+		leaked, res2.Bits, res2.BandwidthKbps())
+}

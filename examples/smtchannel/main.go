@@ -1,0 +1,44 @@
+// Cross-SMT-thread channel demo (§V-B): on an AMD Zen-like core whose
+// micro-op cache is competitively shared, a Trojan on one logical core
+// transmits to a spy on the sibling by evicting its lines; on the
+// statically partitioned Intel configuration the same channel finds no
+// signal.
+//
+//	go run ./examples/smtchannel
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"deaduops/internal/channel"
+	"deaduops/internal/cpu"
+)
+
+func main() {
+	message := []byte("hyperthread whispers")
+
+	fmt.Println("--- AMD Zen configuration (competitively shared µop cache) ---")
+	amd := cpu.New(cpu.AMD())
+	ch, err := channel.NewCrossSMT(amd, channel.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	th := ch.Threshold()
+	fmt.Printf("calibrated: quiet %.0f cycles, contended %.0f cycles\n", th.HitMean, th.MissMean)
+	got, res, err := ch.Transmit(message)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Trojan sent %q\nspy received %q\n%d bits, %.2f%% errors, %.1f Kbit/s\n\n",
+		message, got, res.Bits, 100*res.ErrorRate(), res.BandwidthKbps())
+
+	fmt.Println("--- Intel configuration (statically partitioned µop cache) ---")
+	intel := cpu.New(cpu.Intel())
+	if _, err := channel.NewCrossSMT(intel, channel.DefaultConfig()); err != nil {
+		fmt.Printf("channel calibration failed as expected: %v\n", err)
+		fmt.Println("static partitioning isolates the SMT threads — the paper's Intel result")
+	} else {
+		fmt.Println("unexpected: a cross-thread signal on a partitioned cache")
+	}
+}

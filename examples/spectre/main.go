@@ -1,0 +1,81 @@
+// Transient-execution demo (§VI): variant 1 leaks a victim library's
+// secret through the micro-op cache after bypassing a bounds check;
+// variant 2 leaks through a secret-dependent indirect call even when
+// the victim is "protected" by LFENCE. The classic Spectre-v1 baseline
+// runs last for comparison.
+//
+//	go run ./examples/spectre
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"deaduops/internal/cpu"
+	"deaduops/internal/transient"
+	"deaduops/internal/victim"
+)
+
+func main() {
+	secret := []byte("SGX_SEALKEY=42!")
+
+	// --- Variant 1: bounds-check bypass, µop cache disclosure ---------------
+	c := cpu.New(cpu.Intel())
+	v1, err := transient.NewVariant1(c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v1.WriteSecret(secret)
+	leaked, st, err := v1.Leak(len(secret))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("--- variant 1: I see dead µops ---")
+	fmt.Printf("victim secret  %q\n", secret)
+	fmt.Printf("leaked         %q\n", leaked)
+	fmt.Printf("%d bits; LLC references %d (stealthy), µop-cache miss penalty %d cycles (the real channel)\n\n",
+		st.Bits, st.LLCRefs, st.UopMissPenalty)
+
+	// --- Variant 2: the LFENCE bypass ----------------------------------------
+	fmt.Println("--- variant 2: transmitting before dispatch ---")
+	for _, fence := range []victim.Fence{victim.NoFence, victim.WithLFENCE, victim.WithCPUID} {
+		c := cpu.New(cpu.Intel())
+		v2, err := transient.NewVariant2(c, fence)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := v2.Calibrate(4); err != nil {
+			fmt.Printf("fence=%-7s channel closed (%v)\n", fence, err)
+			continue
+		}
+		ok := 0
+		for _, bit := range []int{1, 0, 1, 1, 0} {
+			v2.WriteSecret(bit)
+			got, err := v2.LeakBit()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if got == (bit == 1) {
+				ok++
+			}
+		}
+		fmt.Printf("fence=%-7s channel open: %d/5 secret bits recovered through the fence\n", fence, ok)
+	}
+	fmt.Println()
+
+	// --- Classic Spectre-v1 baseline (LLC flush+reload) ----------------------
+	c3 := cpu.New(cpu.Intel())
+	cl, err := transient.NewClassicSpectre(c3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cl.WriteSecret(secret)
+	leaked2, st2, err := cl.Leak(len(secret))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("--- classic Spectre-v1 baseline ---")
+	fmt.Printf("leaked         %q\n", leaked2)
+	fmt.Printf("%d bits; LLC references %d (visible to cache monitors), µop-cache miss penalty %d cycles\n",
+		st2.Bits, st2.LLCRefs, st2.UopMissPenalty)
+}

@@ -1,0 +1,3 @@
+module deaduops
+
+go 1.22

@@ -1,0 +1,180 @@
+// Package attack implements the paper's §IV framework: automatic
+// generation of tiger and zebra functions and the timing probe built on
+// them.
+//
+// Two tigers replicate each other's micro-op cache footprint — same
+// sets, same ways — so executing one evicts the other and produces a
+// timing signal. A zebra occupies sets mutually exclusive with its
+// tiger, so the pair never conflict. The functions are long chains of
+// LCP-padded NOPs ending in jumps: almost no back-end work, maximal
+// legacy-decode cost, which sharpens the µop-cache hit/miss timing
+// difference into a clean binary signal.
+package attack
+
+import (
+	"fmt"
+
+	"deaduops/internal/asm"
+	"deaduops/internal/codegen"
+	"deaduops/internal/cpu"
+	"deaduops/internal/isa"
+)
+
+// Geometry selects which part of the micro-op cache a tiger/zebra pair
+// fights over.
+type Geometry struct {
+	// NSets is the number of (evenly spaced) sets occupied; NWays the
+	// ways used in each. The paper's best channel probes 8 sets × 6
+	// ways, leaving two ways free so unrelated code doesn't obscure
+	// the signal.
+	NSets int
+	NWays int
+	// FirstSet offsets the striping; a zebra uses a first set
+	// interleaved between its tiger's stripes (Fig 8).
+	FirstSet int
+}
+
+// DefaultGeometry returns the paper's best-bandwidth configuration.
+func DefaultGeometry() Geometry { return Geometry{NSets: 8, NWays: 6} }
+
+// TigerSets returns the set indices a tiger with this geometry touches.
+func (g Geometry) TigerSets() []int { return codegen.EvenSets(g.NSets, g.FirstSet) }
+
+// ZebraSets returns set indices mutually exclusive with TigerSets:
+// shifted by half a stripe.
+func (g Geometry) ZebraSets() []int {
+	stride := 32 / g.NSets
+	if stride == 0 {
+		stride = 1
+	}
+	return codegen.EvenSets(g.NSets, g.FirstSet+stride/2+stride%2)
+}
+
+// tigerNops and tigerNopLen shape each conflict region: two LCP-padded
+// 14-byte NOPs plus the chain jump = 3 µops in 30 bytes, with six
+// cycles of predecoder stall on every legacy decode.
+const (
+	tigerNops   = 2
+	tigerNopLen = 14
+)
+
+// Tiger returns the chain spec of a tiger at base with geometry g.
+// Distinct tigers at different bases but equal geometry conflict; a
+// tiger and the zebra of the same geometry never do.
+func Tiger(base uint64, g Geometry, label string) *codegen.ChainSpec {
+	return &codegen.ChainSpec{
+		Base: base, Sets: g.TigerSets(), Ways: g.NWays,
+		NopPerRegion: tigerNops, NopLen: tigerNopLen, LCP: true,
+		Label: label,
+	}
+}
+
+// FastTiger returns a tiger variant optimized for eviction throughput
+// rather than timing contrast: single-µop regions with no LCP padding
+// decode quickly, so a sender can sweep its sets many times while a
+// victim's window is open (used by the cross-SMT Trojan).
+func FastTiger(base uint64, g Geometry, label string) *codegen.ChainSpec {
+	return &codegen.ChainSpec{
+		Base: base, Sets: g.TigerSets(), Ways: g.NWays,
+		Label: label,
+	}
+}
+
+// Zebra returns the chain spec of the zebra companion at base.
+func Zebra(base uint64, g Geometry, label string) *codegen.ChainSpec {
+	return &codegen.ChainSpec{
+		Base: base, Sets: g.ZebraSets(), Ways: g.NWays,
+		NopPerRegion: tigerNops, NopLen: tigerNopLen, LCP: true,
+		Label: label,
+	}
+}
+
+// Routine is an assembled tiger or zebra, runnable on a CPU.
+type Routine struct {
+	Spec  *codegen.ChainSpec
+	Prog  *asm.Program
+	Entry uint64
+}
+
+// Build assembles spec into a standalone looped routine (loop count in
+// R14, preset per run). The loop tail is placed in a set adjacent to
+// the chain's first set — outside both a tiger's and its zebra's
+// stripes, so the tail's own line never pollutes a probed set.
+func Build(spec *codegen.ChainSpec) (*Routine, error) {
+	tailSet := 0
+	if len(spec.Sets) > 0 {
+		tailSet = (spec.Sets[0] + 1) % (codegen.WayStride / codegen.RegionSize)
+	}
+	tail := spec.Base + uint64(spec.Ways+1)*codegen.WayStride +
+		uint64(tailSet)*codegen.RegionSize
+	prog, err := spec.LoopProgram(tail)
+	if err != nil {
+		return nil, fmt.Errorf("attack: building %s: %w", spec.Label, err)
+	}
+	return &Routine{Spec: spec, Prog: prog, Entry: prog.Entry}, nil
+}
+
+// Run executes the routine for iters traversals on thread t and
+// returns the elapsed cycles — the RDTSC-bracketed timing measurement
+// of the paper, in simulated cycles.
+func (r *Routine) Run(c *cpu.CPU, t int, iters int64) (uint64, error) {
+	c.SetReg(t, isa.R14, iters)
+	res := c.Run(t, r.Entry, 20_000_000)
+	if res.TimedOut {
+		return 0, fmt.Errorf("attack: routine %s timed out", r.Spec.Label)
+	}
+	return res.Cycles, nil
+}
+
+// Threshold separates µop-cache-hit from µop-cache-miss probe timings.
+type Threshold struct {
+	HitMean  float64
+	MissMean float64
+	Cut      float64
+}
+
+// Hit classifies a probe time.
+func (th Threshold) Hit(cycles uint64) bool { return float64(cycles) < th.Cut }
+
+// Calibrate measures the receiver tiger's probe time with and without a
+// conflicting sender tiger and returns the decision threshold.
+// The receiver primes with primeIters traversals (enough to reclaim its
+// sets from a hot opponent under the hotness replacement policy) and
+// measures with probeIters (few, so a misowned set cannot be reclaimed
+// mid-measurement). rounds controls the averaging.
+func Calibrate(c *cpu.CPU, receiver, sender *Routine, primeIters, probeIters int64, rounds int) (Threshold, error) {
+	var th Threshold
+	var hitSum, missSum float64
+	for i := 0; i < rounds; i++ {
+		// Hit: prime then probe, nothing in between.
+		if _, err := receiver.Run(c, 0, primeIters); err != nil {
+			return th, err
+		}
+		hc, err := receiver.Run(c, 0, probeIters)
+		if err != nil {
+			return th, err
+		}
+		hitSum += float64(hc)
+		// Miss: prime, evict with the sender tiger, probe.
+		if _, err := receiver.Run(c, 0, primeIters); err != nil {
+			return th, err
+		}
+		if _, err := sender.Run(c, 0, primeIters); err != nil {
+			return th, err
+		}
+		mc, err := receiver.Run(c, 0, probeIters)
+		if err != nil {
+			return th, err
+		}
+		missSum += float64(mc)
+	}
+	th.HitMean = hitSum / float64(rounds)
+	th.MissMean = missSum / float64(rounds)
+	th.Cut = (th.HitMean + th.MissMean) / 2
+	// Demand meaningful separation, not just a few cycles of noise.
+	if th.MissMean <= th.HitMean*1.3 {
+		return th, fmt.Errorf("attack: no timing signal (hit %.0f, miss %.0f cycles)",
+			th.HitMean, th.MissMean)
+	}
+	return th, nil
+}

@@ -1,0 +1,166 @@
+package attack
+
+import (
+	"testing"
+
+	"deaduops/internal/asm"
+	"deaduops/internal/cpu"
+)
+
+func TestTigersConflictZebraDoesNot(t *testing.T) {
+	g := DefaultGeometry()
+	tigerA := Tiger(0x40000, g, "ta")
+	tigerB := Tiger(0x80000, g, "tb")
+	zebra := Zebra(0xC0000, g, "z")
+
+	setsOf := func(sets []int) map[int]bool {
+		m := map[int]bool{}
+		for _, s := range sets {
+			m[s] = true
+		}
+		return m
+	}
+	sa, sb, sz := setsOf(tigerA.Sets), setsOf(tigerB.Sets), setsOf(zebra.Sets)
+	for s := range sa {
+		if !sb[s] {
+			t.Errorf("tiger B misses tiger A's set %d", s)
+		}
+		if sz[s] {
+			t.Errorf("zebra shares tiger set %d", s)
+		}
+	}
+}
+
+func TestTigerEvictsTigerTimingSignal(t *testing.T) {
+	g := DefaultGeometry()
+	recv, err := Build(Tiger(0x40000, g, "recv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	send, err := Build(Tiger(0x80000, g, "send"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeb, err := Build(Zebra(0xC0000, g, "zeb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := asm.Merge(recv.Prog, send.Prog, zeb.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.New(cpu.Intel())
+	c.LoadProgram(merged)
+
+	prime := func() {
+		if _, err := recv.Run(c, 0, 20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	probe := func() uint64 {
+		cy, err := recv.Run(c, 0, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cy
+	}
+
+	prime()
+	hit := probe()
+
+	prime()
+	if _, err := send.Run(c, 0, 20); err != nil {
+		t.Fatal(err)
+	}
+	miss := probe()
+
+	prime()
+	if _, err := zeb.Run(c, 0, 20); err != nil {
+		t.Fatal(err)
+	}
+	zebraProbe := probe()
+
+	if miss < hit*2 {
+		t.Errorf("tiger conflict signal too weak: hit %d, miss %d", hit, miss)
+	}
+	if zebraProbe > hit*3/2 {
+		t.Errorf("zebra disturbed the receiver: hit %d, after-zebra %d", hit, zebraProbe)
+	}
+}
+
+func TestCalibrate(t *testing.T) {
+	g := DefaultGeometry()
+	recv, _ := Build(Tiger(0x40000, g, "recv"))
+	send, _ := Build(Tiger(0x80000, g, "send"))
+	merged, _ := asm.Merge(recv.Prog, send.Prog)
+	c := cpu.New(cpu.Intel())
+	c.LoadProgram(merged)
+	th, err := Calibrate(c, recv, send, 20, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.Cut <= th.HitMean || th.Cut >= th.MissMean {
+		t.Errorf("cut %.0f outside (%.0f, %.0f)", th.Cut, th.HitMean, th.MissMean)
+	}
+	if !th.Hit(uint64(th.HitMean)) {
+		t.Error("hit mean classified as miss")
+	}
+	if th.Hit(uint64(th.MissMean)) {
+		t.Error("miss mean classified as hit")
+	}
+}
+
+func TestCalibrateNoSignalFails(t *testing.T) {
+	// Calibrating a receiver against a zebra (no conflict) must fail.
+	g := DefaultGeometry()
+	recv, _ := Build(Tiger(0x40000, g, "recv"))
+	zeb, _ := Build(Zebra(0xC0000, g, "zeb"))
+	merged, _ := asm.Merge(recv.Prog, zeb.Prog)
+	c := cpu.New(cpu.Intel())
+	c.LoadProgram(merged)
+	if _, err := Calibrate(c, recv, zeb, 20, 5, 4); err == nil {
+		t.Error("calibration against a zebra found a signal")
+	}
+}
+
+func TestFastTigerFasterThanLCPTiger(t *testing.T) {
+	g := Geometry{NSets: 4, NWays: 6}
+	slow, _ := Build(Tiger(0x40000, g, "slow"))
+	fast, _ := Build(FastTiger(0x80000, g, "fast"))
+	merged, _ := asm.Merge(slow.Prog, fast.Prog)
+	c := cpu.New(cpu.Intel())
+	c.LoadProgram(merged)
+
+	// Compare cold traversal costs: the LCP tiger pays predecoder
+	// stalls, the fast tiger does not.
+	c.FlushUopCache()
+	slowCy, err := slow.Run(c, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.FlushUopCache()
+	fastCy, err := fast.Run(c, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fastCy >= slowCy {
+		t.Errorf("fast tiger (%d cycles) not faster than LCP tiger (%d)", fastCy, slowCy)
+	}
+}
+
+func TestGeometryDefaults(t *testing.T) {
+	g := DefaultGeometry()
+	if g.NSets != 8 || g.NWays != 6 {
+		t.Errorf("default geometry %+v, want the paper's 8×6 operating point", g)
+	}
+	if len(g.TigerSets()) != 8 {
+		t.Errorf("tiger sets %v", g.TigerSets())
+	}
+}
+
+func TestBuildRejectsBadSpec(t *testing.T) {
+	g := Geometry{NSets: 0, NWays: 0}
+	if _, err := Build(Tiger(0x40000, g, "bad")); err == nil {
+		t.Error("empty geometry accepted")
+	}
+}

@@ -1,0 +1,27 @@
+package channel_test
+
+import (
+	"fmt"
+
+	"deaduops/internal/channel"
+	"deaduops/internal/cpu"
+)
+
+// Example transmits a message between two code regions of one address
+// space using only micro-op cache conflict timing.
+func Example() {
+	c := cpu.New(cpu.Intel())
+	ch, err := channel.NewSameAddressSpace(c, channel.DefaultConfig())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	got, res, err := ch.Transmit([]byte("hi"))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("received %q with %d bit errors\n", got, res.BitErrors)
+	// Output:
+	// received "hi" with 0 bit errors
+}

@@ -1,0 +1,271 @@
+// Package codegen generates micro-op cache-shaped code: chains of
+// 32-byte regions that land in chosen cache sets and occupy a chosen
+// number of ways. It is the code-generation half of the paper's §IV
+// framework — the characterization microbenchmarks (Listings 1-3) and
+// the tiger/zebra attack functions are all instances of these chains.
+package codegen
+
+import (
+	"fmt"
+	"sort"
+
+	"deaduops/internal/asm"
+	"deaduops/internal/isa"
+)
+
+// RegionSize is the micro-op cache region granularity in bytes.
+const RegionSize = 32
+
+// WayStride is the address distance between two regions that map to
+// the same set of a 32-set micro-op cache (32 sets × 32 bytes).
+const WayStride = 1024
+
+// ChainSpec describes a jump chain across micro-op cache sets and ways.
+// The chain visits Ways regions in each listed set (all ways of the
+// first set, then the next set, …), each region holding NopPerRegion
+// NOPs of NopLen bytes followed by a jump to the next region.
+type ChainSpec struct {
+	// Base is the address of set 0, way 0; it must be WayStride-aligned
+	// so set indices are honest.
+	Base uint64
+	// Sets lists the target set indices (0..31).
+	Sets []int
+	// Ways is the number of regions per set.
+	Ways int
+	// NopPerRegion is the number of NOP macro-ops per region; NopLen
+	// their encoded length. LCP marks them with length-changing
+	// prefixes, maximizing legacy-decode cost (the tiger trick).
+	NopPerRegion int
+	NopLen       int
+	LCP          bool
+	// Label prefixes the generated labels, letting several chains
+	// coexist in one builder.
+	Label string
+}
+
+// Validate checks geometric feasibility: the region body plus a 2-byte
+// terminating jump must fit in RegionSize bytes.
+func (s *ChainSpec) Validate() error {
+	if s.Base%WayStride != 0 {
+		return fmt.Errorf("codegen: base %#x not %d-aligned", s.Base, WayStride)
+	}
+	if s.Ways <= 0 || len(s.Sets) == 0 {
+		return fmt.Errorf("codegen: empty chain (%d ways, %d sets)", s.Ways, len(s.Sets))
+	}
+	for _, set := range s.Sets {
+		if set < 0 || set >= WayStride/RegionSize {
+			return fmt.Errorf("codegen: set %d out of range", set)
+		}
+	}
+	if s.NopPerRegion < 0 {
+		return fmt.Errorf("codegen: negative nop count %d", s.NopPerRegion)
+	}
+	if s.NopPerRegion > 0 {
+		if s.NopLen < 1 || s.NopLen > 15 {
+			return fmt.Errorf("codegen: bad nop shape %d×%d", s.NopPerRegion, s.NopLen)
+		}
+		if s.NopPerRegion*s.NopLen+2 > RegionSize {
+			return fmt.Errorf("codegen: region body %d bytes exceeds %d",
+				s.NopPerRegion*s.NopLen+2, RegionSize)
+		}
+	}
+	return nil
+}
+
+// UopsPerRegion returns the micro-op count of each region (NOPs plus
+// the jump).
+func (s *ChainSpec) UopsPerRegion() int { return s.NopPerRegion + 1 }
+
+// Regions returns the number of regions in the chain.
+func (s *ChainSpec) Regions() int { return len(s.Sets) * s.Ways }
+
+// TotalUops returns the chain's micro-op count per traversal.
+func (s *ChainSpec) TotalUops() int { return s.Regions() * s.UopsPerRegion() }
+
+// RegionAddr returns the address of the region at (set, way).
+func (s *ChainSpec) RegionAddr(set, way int) uint64 {
+	return s.Base + uint64(way)*WayStride + uint64(set)*RegionSize
+}
+
+// region is one emission unit.
+type region struct {
+	addr  uint64
+	label string
+	next  string // label of the jump target ("" = exit)
+}
+
+// Emit lays the chain into b. Entry is at label "<Label>_entry"; the
+// last region jumps to exitLabel (which the caller must define). The
+// builder's PC must be at or below the chain's lowest address.
+func (s *ChainSpec) Emit(b *asm.Builder, exitLabel string) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	var regs []region
+	for si, set := range s.Sets {
+		for w := 0; w < s.Ways; w++ {
+			regs = append(regs, region{
+				addr:  s.RegionAddr(set, w),
+				label: fmt.Sprintf("%s_s%d_w%d", s.Label, si, w),
+			})
+		}
+	}
+	for i := range regs {
+		if i+1 < len(regs) {
+			regs[i].next = regs[i+1].label
+		} else {
+			regs[i].next = exitLabel
+		}
+	}
+
+	// Emit in address order; traversal order lives in the jump links.
+	emitOrder := make([]*region, len(regs))
+	for i := range regs {
+		emitOrder[i] = &regs[i]
+	}
+	sort.Slice(emitOrder, func(i, j int) bool { return emitOrder[i].addr < emitOrder[j].addr })
+	for i, r := range emitOrder {
+		if i > 0 && emitOrder[i-1].addr == r.addr {
+			return fmt.Errorf("codegen: duplicate region address %#x", r.addr)
+		}
+		b.Org(r.addr)
+		b.Label(r.label)
+		for n := 0; n < s.NopPerRegion; n++ {
+			if s.LCP {
+				b.NopLCP(s.NopLen)
+			} else {
+				b.Nop(s.NopLen)
+			}
+		}
+		b.JmpShort(r.next)
+	}
+	return nil
+}
+
+// EntryLabel returns the label of the chain's first region.
+func (s *ChainSpec) EntryLabel() string {
+	return fmt.Sprintf("%s_s0_w0", s.Label)
+}
+
+// LoopProgram wraps the chain in a counted loop: the chain is traversed
+// R14 times (the caller presets R14 before each run — keeping the
+// count out of the code image means warm-up and measurement runs share
+// one image, so the micro-op cache never serves a stale immediate),
+// then the program halts. The loop tail is placed at tailAddr, which
+// must not collide with the chain's regions.
+func (s *ChainSpec) LoopProgram(tailAddr uint64) (*asm.Program, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	lowest := s.RegionAddr(minInt(s.Sets), 0)
+	if tailAddr >= lowest && tailAddr < s.RegionAddr(maxInt(s.Sets), s.Ways-1)+RegionSize {
+		// The tail may still be legal if it dodges every region, but
+		// keep the contract simple: require it clear of the span.
+		return nil, fmt.Errorf("codegen: tail %#x inside chain span", tailAddr)
+	}
+
+	b := asm.New(minU64(tailAddr, lowest))
+	emitTail := func() {
+		b.Label("entry")
+		b.Jmp(s.EntryLabel())
+		b.Label("tail")
+		b.Subi(isa.R14, 1)
+		b.Cmpi(isa.R14, 0)
+		b.Jcc(isa.NE, s.EntryLabel())
+		b.Halt()
+	}
+	if tailAddr < lowest {
+		// Tail first: header jumps into the chain.
+		emitTail()
+		if err := s.Emit(b, "tail"); err != nil {
+			return nil, err
+		}
+		return b.Build()
+	}
+	if err := s.Emit(b, "tail"); err != nil {
+		return nil, err
+	}
+	b.Org(tailAddr)
+	emitTail()
+	return b.Build()
+}
+
+func minInt(v []int) int {
+	m := v[0]
+	for _, x := range v {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func maxInt(v []int) int {
+	m := v[0]
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// EvenSets returns n set indices evenly spaced across the 32 sets,
+// starting at first — the striped occupation of Fig 8.
+func EvenSets(n, first int) []int {
+	if n <= 0 {
+		return nil
+	}
+	total := WayStride / RegionSize
+	stride := total / n
+	if stride == 0 {
+		stride = 1
+	}
+	sets := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		sets = append(sets, (first+i*stride)%total)
+	}
+	return sets
+}
+
+// SequentialRegions emits count contiguous 32-byte regions starting at
+// the builder's (32-aligned) PC, each holding exactly uopsPerRegion
+// micro-ops as NOPs (the Listing 1 layout: nop15, nop15, nop2 for 3
+// µops in 32 bytes). Control falls through region to region.
+func SequentialRegions(b *asm.Builder, count, uopsPerRegion int) error {
+	if uopsPerRegion < 1 || uopsPerRegion > RegionSize {
+		return fmt.Errorf("codegen: %d µops per 32-byte region not encodable", uopsPerRegion)
+	}
+	if b.PC()%RegionSize != 0 {
+		return fmt.Errorf("codegen: PC %#x not 32-aligned", b.PC())
+	}
+	for i := 0; i < count; i++ {
+		b.NopRegion(RegionSize, uopsPerRegion)
+	}
+	return nil
+}
+
+// SequentialLoop builds the Listing 1 microbenchmark: a loop over
+// `regions` contiguous 32-byte regions of uopsPerRegion µops each,
+// iterated R14 times (preset by the caller before each run).
+func SequentialLoop(base uint64, regions, uopsPerRegion int) (*asm.Program, error) {
+	b := asm.New(base)
+	b.Align(RegionSize)
+	b.Label("entry")
+	b.Label("loop")
+	if err := SequentialRegions(b, regions, uopsPerRegion); err != nil {
+		return nil, err
+	}
+	b.Subi(isa.R14, 1)
+	b.Cmpi(isa.R14, 0)
+	b.Jcc(isa.NE, "loop")
+	b.Halt()
+	return b.Build()
+}

@@ -1,0 +1,181 @@
+package codegen
+
+import (
+	"testing"
+
+	"deaduops/internal/cpu"
+	"deaduops/internal/isa"
+)
+
+func TestChainValidate(t *testing.T) {
+	good := ChainSpec{Base: 0x10000, Sets: []int{0, 4}, Ways: 4, NopPerRegion: 2, NopLen: 14}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	bad := []ChainSpec{
+		{Base: 0x10001, Sets: []int{0}, Ways: 1},                              // misaligned
+		{Base: 0x10000, Sets: nil, Ways: 1},                                   // no sets
+		{Base: 0x10000, Sets: []int{0}, Ways: 0},                              // no ways
+		{Base: 0x10000, Sets: []int{32}, Ways: 1},                             // set out of range
+		{Base: 0x10000, Sets: []int{0}, Ways: 1, NopPerRegion: 3, NopLen: 15}, // 47 bytes
+		{Base: 0x10000, Sets: []int{0}, Ways: 1, NopPerRegion: 1, NopLen: 16}, // bad nop
+		{Base: 0x10000, Sets: []int{0}, Ways: 1, NopPerRegion: -1, NopLen: 1}, // negative
+	}
+	for i, spec := range bad {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestChainGeometryHelpers(t *testing.T) {
+	s := ChainSpec{Base: 0x10000, Sets: []int{1, 5}, Ways: 3, NopPerRegion: 2, NopLen: 10}
+	if s.Regions() != 6 || s.UopsPerRegion() != 3 || s.TotalUops() != 18 {
+		t.Errorf("geometry %d/%d/%d", s.Regions(), s.UopsPerRegion(), s.TotalUops())
+	}
+	if got := s.RegionAddr(5, 2); got != 0x10000+2*1024+5*32 {
+		t.Errorf("RegionAddr %#x", got)
+	}
+}
+
+func TestChainRegionsLandInDeclaredSets(t *testing.T) {
+	s := ChainSpec{Base: 0x10000, Sets: []int{3, 19}, Ways: 4, Label: "c"}
+	for _, set := range s.Sets {
+		for w := 0; w < s.Ways; w++ {
+			addr := s.RegionAddr(set, w)
+			if got := int(addr>>5) & 31; got != set {
+				t.Errorf("region (%d,%d) at %#x maps to set %d", set, w, addr, got)
+			}
+		}
+	}
+}
+
+func TestChainTraversalOrder(t *testing.T) {
+	// Executing the loop must touch every region exactly once per
+	// iteration, verified by instruction count.
+	s := &ChainSpec{Base: 0x10000, Sets: []int{0, 8}, Ways: 3,
+		NopPerRegion: 1, NopLen: 5, Label: "c"}
+	prog, err := s.LoopProgram(s.Base + 5*WayStride + 16*RegionSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.New(cpu.Intel())
+	c.LoadProgram(prog)
+	c.SetReg(0, isa.R14, 10)
+	res := c.Run(0, prog.Entry, 1_000_000)
+	if res.TimedOut {
+		t.Fatal("timed out")
+	}
+	// Per iteration: 6 regions × (1 nop + 1 jmp) + tail (sub, cmp, jcc)
+	// = 15 macro-ops; plus the entry jmp once.
+	want := uint64(10*15 + 1 + 1) // + final halt
+	if res.Retired != want {
+		t.Errorf("retired %d, want %d", res.Retired, want)
+	}
+}
+
+func TestLoopProgramTailCollision(t *testing.T) {
+	s := &ChainSpec{Base: 0x10000, Sets: []int{0}, Ways: 4, Label: "c"}
+	if _, err := s.LoopProgram(s.Base + 1024); err == nil {
+		t.Error("tail inside chain span accepted")
+	}
+}
+
+func TestLoopProgramTailBeforeChain(t *testing.T) {
+	s := &ChainSpec{Base: 0x10000, Sets: []int{0}, Ways: 2, Label: "c"}
+	prog, err := s.LoopProgram(0x8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.New(cpu.Intel())
+	c.LoadProgram(prog)
+	c.SetReg(0, isa.R14, 3)
+	if res := c.Run(0, prog.Entry, 100_000); res.TimedOut {
+		t.Error("tail-first layout timed out")
+	}
+}
+
+func TestEvenSets(t *testing.T) {
+	cases := []struct {
+		n, first int
+		want     []int
+	}{
+		{4, 0, []int{0, 8, 16, 24}},
+		{4, 2, []int{2, 10, 18, 26}},
+		{8, 0, []int{0, 4, 8, 12, 16, 20, 24, 28}},
+		{1, 5, []int{5}},
+		{32, 0, nil}, // all sets: stride 1
+	}
+	for _, tc := range cases {
+		got := EvenSets(tc.n, tc.first)
+		if tc.want == nil {
+			if len(got) != tc.n {
+				t.Errorf("EvenSets(%d,%d) len %d", tc.n, tc.first, len(got))
+			}
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Fatalf("EvenSets(%d,%d) = %v", tc.n, tc.first, got)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("EvenSets(%d,%d) = %v, want %v", tc.n, tc.first, got, tc.want)
+				break
+			}
+		}
+	}
+	if EvenSets(0, 0) != nil {
+		t.Error("EvenSets(0) not nil")
+	}
+}
+
+func TestSequentialRegionsAlignment(t *testing.T) {
+	s := &ChainSpec{}
+	_ = s
+	prog, err := SequentialLoop(0x10000, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each of the 4 regions must start 32-aligned and hold 3 NOPs.
+	nops := 0
+	for _, in := range prog.Insts {
+		if in.Op == isa.NOP {
+			nops++
+		}
+	}
+	if nops != 12 {
+		t.Errorf("nops %d, want 12", nops)
+	}
+}
+
+func TestSequentialLoopExecutes(t *testing.T) {
+	prog, err := SequentialLoop(0x10000, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.New(cpu.Intel())
+	c.LoadProgram(prog)
+	c.SetReg(0, isa.R14, 5)
+	res := c.Run(0, prog.Entry, 1_000_000)
+	if res.TimedOut {
+		t.Fatal("timed out")
+	}
+	if got := c.Reg(0, isa.R14); got != 0 {
+		t.Errorf("loop counter %d after run", got)
+	}
+}
+
+func TestSequentialRejectsUnencodable(t *testing.T) {
+	if _, err := SequentialLoop(0x10000, 2, 64); err == nil {
+		t.Error("64 µops per 32-byte region accepted")
+	}
+	// A misaligned base is fine: the builder aligns to the next
+	// 32-byte boundary before the first region.
+	prog, err := SequentialLoop(0x10001, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.MustLabel("loop")%RegionSize != 0 {
+		t.Error("loop start not region-aligned")
+	}
+}

@@ -1,0 +1,344 @@
+package cpu
+
+import (
+	"testing"
+
+	"deaduops/internal/asm"
+	"deaduops/internal/isa"
+	"deaduops/internal/perfctr"
+)
+
+const testMaxCycles = 2_000_000
+
+func runProg(t *testing.T, p *asm.Program) (*CPU, RunResult) {
+	t.Helper()
+	c := New(Intel())
+	c.LoadProgram(p)
+	res := c.Run(0, p.Entry, testMaxCycles)
+	if res.TimedOut {
+		t.Fatalf("program timed out after %d cycles", res.Cycles)
+	}
+	return c, res
+}
+
+func TestArithmetic(t *testing.T) {
+	b := asm.New(0x1000)
+	b.Movi(isa.R1, 5)
+	b.Movi(isa.R2, 7)
+	b.Add(isa.R1, isa.R2)
+	b.Movi64(isa.R3, 1<<40)
+	b.Add(isa.R3, isa.R1)
+	b.Subi(isa.R3, 2)
+	b.Xor(isa.R4, isa.R4)
+	b.Ori(isa.R4, 0xff)
+	b.Andi(isa.R4, 0x0f)
+	b.Shli(isa.R4, 4)
+	b.Halt()
+	c, _ := runProg(t, b.MustBuild())
+	if got := c.Reg(0, isa.R1); got != 12 {
+		t.Errorf("R1 = %d, want 12", got)
+	}
+	if got := c.Reg(0, isa.R3); got != (1<<40)+10 {
+		t.Errorf("R3 = %d, want %d", got, (1<<40)+10)
+	}
+	if got := c.Reg(0, isa.R4); got != 0xf0 {
+		t.Errorf("R4 = %#x, want 0xf0", got)
+	}
+}
+
+func TestCountedLoop(t *testing.T) {
+	b := asm.New(0x1000)
+	b.Movi(isa.R1, 0)  // sum
+	b.Movi(isa.R2, 10) // counter
+	b.Label("loop")
+	b.Add(isa.R1, isa.R2)
+	b.Subi(isa.R2, 1)
+	b.Cmpi(isa.R2, 0)
+	b.Jcc(isa.NE, "loop")
+	b.Halt()
+	c, res := runProg(t, b.MustBuild())
+	if got := c.Reg(0, isa.R1); got != 55 {
+		t.Errorf("sum = %d, want 55", got)
+	}
+	if res.Retired == 0 {
+		t.Error("no instructions retired")
+	}
+}
+
+func TestConditionCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b int64
+		cond isa.Cond
+		want bool // branch taken?
+	}{
+		{"eq-taken", 4, 4, isa.EQ, true},
+		{"eq-not", 4, 5, isa.EQ, false},
+		{"ne-taken", 4, 5, isa.NE, true},
+		{"lt-taken", -3, 2, isa.LT, true},
+		{"lt-not", 3, 2, isa.LT, false},
+		{"ge-taken", 3, 2, isa.GE, true},
+		{"gt-taken", 3, 2, isa.GT, true},
+		{"gt-not", 2, 2, isa.GT, false},
+		{"le-taken", 2, 2, isa.LE, true},
+		{"b-taken", 1, 2, isa.B, true},
+		{"b-not", 2, 1, isa.B, false},
+		{"ae-taken", 2, 1, isa.AE, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := asm.New(0x1000)
+			b.Movi(isa.R1, tc.a)
+			b.Movi(isa.R2, tc.b)
+			b.Movi(isa.R3, 0)
+			b.Cmp(isa.R1, isa.R2)
+			b.Jcc(tc.cond, "taken")
+			b.Movi(isa.R3, 1)
+			b.Jmp("done")
+			b.Label("taken")
+			b.Movi(isa.R3, 2)
+			b.Label("done")
+			b.Halt()
+			c, _ := runProg(t, b.MustBuild())
+			want := int64(1)
+			if tc.want {
+				want = 2
+			}
+			if got := c.Reg(0, isa.R3); got != want {
+				t.Errorf("R3 = %d, want %d", got, want)
+			}
+		})
+	}
+}
+
+func TestMemoryLoadStore(t *testing.T) {
+	b := asm.New(0x1000)
+	b.Movi(isa.R1, 0x2000) // base
+	b.Movi(isa.R2, 0x1234567890)
+	b.Store(isa.R1, 8, isa.R2)
+	b.Load(isa.R3, isa.R1, 8)
+	b.Movi(isa.R4, 0xAB)
+	b.Storeb(isa.R1, 0, isa.R4)
+	b.Loadb(isa.R5, isa.R1, 0)
+	b.Halt()
+	c, _ := runProg(t, b.MustBuild())
+	if got := c.Reg(0, isa.R3); got != 0x1234567890 {
+		t.Errorf("R3 = %#x, want 0x1234567890", got)
+	}
+	if got := c.Reg(0, isa.R5); got != 0xAB {
+		t.Errorf("R5 = %#x, want 0xAB", got)
+	}
+	if got := c.Mem().Read(0x2008, 8); got != 0x1234567890 {
+		t.Errorf("mem[0x2008] = %#x", got)
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	b := asm.New(0x1000)
+	b.Movi(isa.R1, 1)
+	b.Call("fn")
+	b.Addi(isa.R1, 100) // runs after return
+	b.Halt()
+	b.Align(64)
+	b.Label("fn")
+	b.Addi(isa.R1, 10)
+	b.Ret()
+	c, _ := runProg(t, b.MustBuild())
+	if got := c.Reg(0, isa.R1); got != 111 {
+		t.Errorf("R1 = %d, want 111", got)
+	}
+}
+
+func TestNestedCalls(t *testing.T) {
+	b := asm.New(0x1000)
+	b.Movi(isa.R1, 0)
+	b.Call("outer")
+	b.Addi(isa.R1, 1000)
+	b.Halt()
+	b.Align(64)
+	b.Label("outer")
+	b.Addi(isa.R1, 1)
+	b.Call("inner")
+	b.Addi(isa.R1, 10)
+	b.Ret()
+	b.Align(64)
+	b.Label("inner")
+	b.Addi(isa.R1, 100)
+	b.Ret()
+	c, _ := runProg(t, b.MustBuild())
+	if got := c.Reg(0, isa.R1); got != 1111 {
+		t.Errorf("R1 = %d, want 1111", got)
+	}
+}
+
+func TestIndirectJump(t *testing.T) {
+	b := asm.New(0x1000)
+	b.Movi(isa.R1, 0) // will hold target
+	b.Movi(isa.R2, 0)
+	// Resolve target of label "dest" after build: use two-pass trick —
+	// place dest at a fixed aligned address.
+	b.Jmp("start")
+	b.Org(0x1100)
+	b.Label("dest")
+	b.Movi(isa.R2, 42)
+	b.Halt()
+	b.Org(0x1200)
+	b.Label("start")
+	b.Movi(isa.R1, 0x1100)
+	b.Jmpi(isa.R1)
+	c, _ := runProg(t, b.MustBuild())
+	if got := c.Reg(0, isa.R2); got != 42 {
+		t.Errorf("R2 = %d, want 42", got)
+	}
+}
+
+func TestIndirectCall(t *testing.T) {
+	b := asm.New(0x1000)
+	b.Jmp("start")
+	b.Org(0x1100)
+	b.Label("fn")
+	b.Movi(isa.R2, 7)
+	b.Ret()
+	b.Org(0x1200)
+	b.Label("start")
+	b.Movi(isa.R1, 0x1100)
+	b.Calli(isa.R1)
+	b.Addi(isa.R2, 1)
+	b.Halt()
+	c, _ := runProg(t, b.MustBuild())
+	if got := c.Reg(0, isa.R2); got != 8 {
+		t.Errorf("R2 = %d, want 8", got)
+	}
+}
+
+func TestSyscallSysret(t *testing.T) {
+	cfg := Intel()
+	user := asm.New(0x1000)
+	user.Movi(isa.R1, 1)
+	user.Syscall()
+	user.Addi(isa.R1, 100)
+	user.Halt()
+	kern := asm.New(cfg.KernelEntry)
+	kern.Label("kentry")
+	kern.Addi(isa.R1, 10)
+	kern.Sysret()
+	prog, err := asm.Merge(user.MustBuild(), kern.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(cfg)
+	c.LoadProgram(prog)
+	res := c.Run(0, prog.Entry, testMaxCycles)
+	if res.TimedOut {
+		t.Fatal("timed out")
+	}
+	if got := c.Reg(0, isa.R1); got != 111 {
+		t.Errorf("R1 = %d, want 111", got)
+	}
+	if c.Backend(0).KernelMode() {
+		t.Error("still in kernel mode after sysret")
+	}
+}
+
+func TestRdtscMonotonic(t *testing.T) {
+	b := asm.New(0x1000)
+	b.Rdtsc(isa.R1)
+	for i := 0; i < 50; i++ {
+		b.Nop(1)
+	}
+	b.Rdtsc(isa.R2)
+	b.Halt()
+	c, _ := runProg(t, b.MustBuild())
+	t1, t2 := c.Reg(0, isa.R1), c.Reg(0, isa.R2)
+	if t2 <= t1 {
+		t.Errorf("rdtsc not monotonic: %d then %d", t1, t2)
+	}
+}
+
+func TestUopCacheWarmupSpeedsLoop(t *testing.T) {
+	// A hot loop should run faster on the second pass, when its
+	// micro-ops stream from the micro-op cache.
+	b := asm.New(0x1000)
+	b.Movi(isa.R2, 200)
+	b.Label("loop")
+	b.Align(32)
+	for i := 0; i < 8; i++ {
+		b.NopRegion(32, 3)
+	}
+	b.Subi(isa.R2, 1)
+	b.Cmpi(isa.R2, 0)
+	b.Jcc(isa.NE, "loop")
+	b.Halt()
+	p := b.MustBuild()
+
+	c := New(Intel())
+	c.LoadProgram(p)
+	cold := c.Run(0, p.Entry, testMaxCycles)
+	warm := c.Run(0, p.Entry, testMaxCycles)
+	if cold.TimedOut || warm.TimedOut {
+		t.Fatal("timed out")
+	}
+	if warm.Cycles >= cold.Cycles {
+		t.Errorf("warm run (%d cycles) not faster than cold (%d)", warm.Cycles, cold.Cycles)
+	}
+	if warm.Counters.Get(perfctr.DSBUops) == 0 {
+		t.Error("warm run delivered no µops from the micro-op cache")
+	}
+}
+
+func TestPerfCountersAccumulate(t *testing.T) {
+	b := asm.New(0x1000)
+	for i := 0; i < 20; i++ {
+		b.Nop(2)
+	}
+	b.Halt()
+	_, res := runProg(t, b.MustBuild())
+	if res.Counters.Get(perfctr.Cycles) == 0 {
+		t.Error("cycles counter is zero")
+	}
+	if got := res.Counters.Get(perfctr.Instructions); got != 21 {
+		t.Errorf("instructions = %d, want 21", got)
+	}
+}
+
+func TestGuestMemoryBounds(t *testing.T) {
+	m := NewMemory(64)
+	m.Write(1<<40, 8, 0x55) // out of range: dropped
+	if got := m.Read(1<<40, 8); got != 0 {
+		t.Errorf("OOB read = %d, want 0", got)
+	}
+	m.Write(60, 8, -1) // straddles the end: partial write allowed
+	if got := m.Read(60, 4); got == 0 {
+		t.Error("partial in-range write lost")
+	}
+}
+
+func TestMacroFusionRetiresBothMacroOps(t *testing.T) {
+	b := asm.New(0x1000)
+	b.Movi(isa.R1, 3)
+	b.Cmpi(isa.R1, 3) // fuses with the following JCC
+	b.Jcc(isa.EQ, "out")
+	b.Movi(isa.R1, 99)
+	b.Label("out")
+	b.Halt()
+	c, res := runProg(t, b.MustBuild())
+	if got := c.Reg(0, isa.R1); got != 3 {
+		t.Errorf("R1 = %d, want 3", got)
+	}
+	// movi + cmp + jcc + halt = 4 macro-ops.
+	if got := res.Counters.Get(perfctr.Instructions); got != 4 {
+		t.Errorf("instructions = %d, want 4", got)
+	}
+}
+
+func TestClflushEvictsData(t *testing.T) {
+	b := asm.New(0x1000)
+	b.Movi(isa.R1, 0x3000)
+	b.Load(isa.R2, isa.R1, 0) // warm the line
+	b.Clflush(isa.R1, 0)
+	b.Halt()
+	c, _ := runProg(t, b.MustBuild())
+	if lvl := c.Hierarchy().DataCached(0x3000); lvl != 0 {
+		t.Errorf("line still cached at level %d after clflush", lvl)
+	}
+}

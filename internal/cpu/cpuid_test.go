@@ -1,0 +1,57 @@
+package cpu
+
+import (
+	"testing"
+
+	"deaduops/internal/asm"
+	"deaduops/internal/isa"
+)
+
+func TestCpuidSerializes(t *testing.T) {
+	b := asm.New(0x1000)
+	b.Movi(isa.R1, 1)
+	b.Cpuid()
+	b.Addi(isa.R1, 10)
+	b.Halt()
+	c := New(Intel())
+	p := b.MustBuild()
+	c.LoadProgram(p)
+	res := c.Run(0, p.Entry, 100000)
+	if res.TimedOut {
+		t.Fatalf("timed out")
+	}
+	if got := c.Reg(0, isa.R1); got != 11 {
+		t.Errorf("R1=%d", got)
+	}
+	// run again (uop-cache warm path)
+	res = c.Run(0, p.Entry, 100000)
+	if res.TimedOut {
+		t.Fatalf("warm run timed out")
+	}
+}
+
+func TestCpuidInCallee(t *testing.T) {
+	b := asm.New(0x1000)
+	b.Movi(isa.R1, 1)
+	b.Call("fn")
+	b.Addi(isa.R1, 100)
+	b.Halt()
+	b.Org(0x1100)
+	b.Label("fn")
+	b.Cpuid()
+	b.Addi(isa.R1, 10)
+	b.Ret()
+	c := New(Intel())
+	p := b.MustBuild()
+	c.LoadProgram(p)
+	for i := 0; i < 3; i++ {
+		res := c.Run(0, p.Entry, 100000)
+		if res.TimedOut {
+			t.Fatalf("iter %d timed out", i)
+		}
+		if got := c.Reg(0, isa.R1); got != 111 {
+			t.Errorf("R1=%d", got)
+		}
+		c.SetReg(0, isa.R1, 1)
+	}
+}

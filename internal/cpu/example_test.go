@@ -1,0 +1,40 @@
+package cpu_test
+
+import (
+	"fmt"
+
+	"deaduops/internal/asm"
+	"deaduops/internal/cpu"
+	"deaduops/internal/isa"
+	"deaduops/internal/perfctr"
+)
+
+// Example assembles a small loop, runs it twice, and shows the micro-op
+// cache turning legacy-decode traffic into DSB streaming.
+func Example() {
+	b := asm.New(0x10000)
+	b.Label("entry")
+	b.Label("loop")
+	b.NopRegion(32, 3)
+	b.Subi(isa.R14, 1)
+	b.Cmpi(isa.R14, 0)
+	b.Jcc(isa.NE, "loop")
+	b.Halt()
+	prog := b.MustBuild()
+
+	c := cpu.New(cpu.Intel())
+	c.LoadProgram(prog)
+
+	c.SetReg(0, isa.R14, 50)
+	cold := c.Run(0, prog.Entry, 1_000_000)
+	c.SetReg(0, isa.R14, 50)
+	warm := c.Run(0, prog.Entry, 1_000_000)
+
+	fmt.Println("cold MITE µops  >", 0, ":", cold.Counters.Get(perfctr.MITEUops) > 0)
+	fmt.Println("warm MITE µops ==", 0, ":", warm.Counters.Get(perfctr.MITEUops) == 0)
+	fmt.Println("warm faster:", warm.Cycles < cold.Cycles)
+	// Output:
+	// cold MITE µops  > 0 : true
+	// warm MITE µops == 0 : true
+	// warm faster: true
+}

@@ -1,0 +1,107 @@
+// Package detect implements the §VIII performance-counter-based
+// monitoring countermeasure: classifying workloads as suspicious by
+// their micro-op cache behaviour. The paper observes that sudden jumps
+// in micro-op cache misses can reveal an attack, while cautioning that
+// such monitors are prone to misclassification and mimicry; the
+// Evaluate function exposes the raw feature vector so those limits can
+// be studied.
+package detect
+
+import (
+	"fmt"
+
+	"deaduops/internal/perfctr"
+)
+
+// Features is the per-run feature vector the monitor extracts from a
+// performance-counter delta.
+type Features struct {
+	// DSBMissPenaltyPerUop is the micro-op cache miss penalty in
+	// cycles, normalized per retired µop — the paper's primary signal.
+	DSBMissPenaltyPerUop float64
+	// MITEFraction is the share of µops delivered by the legacy decode
+	// pipeline. Steady-state benign hot code runs near zero; conflict
+	// attacks keep it high.
+	MITEFraction float64
+	// SwitchesPerKUop is the DSB→MITE switch rate per 1000 µops.
+	SwitchesPerKUop float64
+}
+
+// Extract computes the feature vector from a counter delta.
+func Extract(d perfctr.Snapshot) Features {
+	uops := float64(d.Get(perfctr.DSBUops) + d.Get(perfctr.MITEUops) + d.Get(perfctr.MSROMUops))
+	if uops == 0 {
+		return Features{}
+	}
+	return Features{
+		DSBMissPenaltyPerUop: float64(d.Get(perfctr.DSBMissPenaltyCycles)) / uops,
+		MITEFraction:         float64(d.Get(perfctr.MITEUops)) / uops,
+		SwitchesPerKUop:      1000 * float64(d.Get(perfctr.DSB2MITESwitches)) / uops,
+	}
+}
+
+// Thresholds define the monitor's decision boundary. Defaults are
+// calibrated so steady-state benign loops (which run almost entirely
+// out of the micro-op cache) score clean while conflict-attack phases
+// (which force continual DSB misses) trip at least two detectors.
+type Thresholds struct {
+	MissPenaltyPerUop float64
+	MITEFraction      float64
+	SwitchesPerKUop   float64
+}
+
+// DefaultThresholds returns the calibrated boundary.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		MissPenaltyPerUop: 0.5,
+		MITEFraction:      0.25,
+		SwitchesPerKUop:   50,
+	}
+}
+
+// Monitor scores counter deltas against thresholds.
+type Monitor struct {
+	th Thresholds
+}
+
+// NewMonitor builds a monitor; zero-valued thresholds fall back to
+// defaults.
+func NewMonitor(th Thresholds) *Monitor {
+	def := DefaultThresholds()
+	if th.MissPenaltyPerUop == 0 {
+		th.MissPenaltyPerUop = def.MissPenaltyPerUop
+	}
+	if th.MITEFraction == 0 {
+		th.MITEFraction = def.MITEFraction
+	}
+	if th.SwitchesPerKUop == 0 {
+		th.SwitchesPerKUop = def.SwitchesPerKUop
+	}
+	return &Monitor{th: th}
+}
+
+// Score returns how many detectors the features trip (0-3).
+func (m *Monitor) Score(f Features) int {
+	n := 0
+	if f.DSBMissPenaltyPerUop > m.th.MissPenaltyPerUop {
+		n++
+	}
+	if f.MITEFraction > m.th.MITEFraction {
+		n++
+	}
+	if f.SwitchesPerKUop > m.th.SwitchesPerKUop {
+		n++
+	}
+	return n
+}
+
+// Suspicious reports whether the run trips a majority of detectors.
+func (m *Monitor) Suspicious(d perfctr.Snapshot) bool {
+	return m.Score(Extract(d)) >= 2
+}
+
+// String renders the feature vector.
+func (f Features) String() string {
+	return fmt.Sprintf("penalty/µop=%.3f mite=%.1f%% switches/kµop=%.1f",
+		f.DSBMissPenaltyPerUop, 100*f.MITEFraction, f.SwitchesPerKUop)
+}

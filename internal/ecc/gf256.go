@@ -1,0 +1,84 @@
+// Package ecc implements Reed-Solomon error correction over GF(2⁸),
+// used by the covert channels to report Table I's error-corrected
+// bandwidth. The paper encodes transmitted data with Reed-Solomon at
+// roughly 20% redundancy to reach zero residual errors.
+//
+// The implementation is self-contained: GF(2⁸) arithmetic with the
+// 0x11D primitive polynomial, a systematic encoder, and a
+// syndrome/Berlekamp-Massey/Chien/Forney decoder.
+package ecc
+
+// gfPoly is the field's primitive polynomial x⁸+x⁴+x³+x²+1 (0x11D),
+// the conventional choice for RS(255, k).
+const gfPoly = 0x11D
+
+// gf carries the exp/log tables for GF(2⁸).
+var gfExp [512]byte
+var gfLog [256]int
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		gfExp[i] = byte(x)
+		gfLog[x] = i
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= gfPoly
+		}
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+}
+
+// gfMul multiplies in GF(2⁸).
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[gfLog[a]+gfLog[b]]
+}
+
+// gfDiv divides a by b in GF(2⁸); b must be nonzero.
+func gfDiv(a, b byte) byte {
+	if a == 0 {
+		return 0
+	}
+	return gfExp[gfLog[a]+255-gfLog[b]]
+}
+
+// gfInv returns the multiplicative inverse; v must be nonzero.
+func gfInv(v byte) byte { return gfExp[255-gfLog[v]] }
+
+// gfPow returns a**n.
+func gfPow(a byte, n int) byte {
+	if a == 0 {
+		return 0
+	}
+	return gfExp[(gfLog[a]*n)%255+255]
+}
+
+// polyMul multiplies polynomials over GF(2⁸) (coefficients
+// highest-degree first).
+func polyMul(a, b []byte) []byte {
+	out := make([]byte, len(a)+len(b)-1)
+	for i, av := range a {
+		if av == 0 {
+			continue
+		}
+		for j, bv := range b {
+			out[i+j] ^= gfMul(av, bv)
+		}
+	}
+	return out
+}
+
+// polyEval evaluates the polynomial at x (Horner, highest-degree
+// first).
+func polyEval(p []byte, x byte) byte {
+	var y byte
+	for _, c := range p {
+		y = gfMul(y, x) ^ c
+	}
+	return y
+}

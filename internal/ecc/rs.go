@@ -1,0 +1,288 @@
+package ecc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Codec is a systematic Reed-Solomon code RS(255, 255-NParity) over
+// GF(2⁸), correcting up to NParity/2 byte errors per block.
+type Codec struct {
+	nParity int
+	gen     []byte // generator polynomial, highest-degree first
+}
+
+// ErrTooManyErrors reports an uncorrectable block.
+var ErrTooManyErrors = errors.New("ecc: too many errors to correct")
+
+// NewCodec builds a codec with nParity check bytes per block
+// (2 ≤ nParity ≤ 128).
+func NewCodec(nParity int) (*Codec, error) {
+	if nParity < 2 || nParity > 128 {
+		return nil, fmt.Errorf("ecc: parity count %d out of range [2,128]", nParity)
+	}
+	gen := []byte{1}
+	for i := 0; i < nParity; i++ {
+		gen = polyMul(gen, []byte{1, gfPow(2, i)})
+	}
+	return &Codec{nParity: nParity, gen: gen}, nil
+}
+
+// NParity returns the number of check bytes per block.
+func (c *Codec) NParity() int { return c.nParity }
+
+// DataPerBlock returns the data bytes per 255-byte block.
+func (c *Codec) DataPerBlock() int { return 255 - c.nParity }
+
+// Overhead returns the redundancy ratio (parity / data).
+func (c *Codec) Overhead() float64 {
+	return float64(c.nParity) / float64(c.DataPerBlock())
+}
+
+// EncodeBlock appends nParity check bytes to data
+// (len(data) ≤ DataPerBlock).
+func (c *Codec) EncodeBlock(data []byte) ([]byte, error) {
+	if len(data) > c.DataPerBlock() {
+		return nil, fmt.Errorf("ecc: block of %d exceeds %d data bytes", len(data), c.DataPerBlock())
+	}
+	out := make([]byte, len(data)+c.nParity)
+	copy(out, data)
+	// Polynomial long division: the remainder becomes the check bytes.
+	rem := make([]byte, len(out))
+	copy(rem, out)
+	for i := 0; i < len(data); i++ {
+		coef := rem[i]
+		if coef == 0 {
+			continue
+		}
+		for j := 1; j < len(c.gen); j++ {
+			rem[i+j] ^= gfMul(c.gen[j], coef)
+		}
+	}
+	copy(out[len(data):], rem[len(data):])
+	return out, nil
+}
+
+// DecodeBlock corrects up to nParity/2 byte errors and returns the data
+// portion. The input is not modified.
+func (c *Codec) DecodeBlock(block []byte) ([]byte, error) {
+	if len(block) <= c.nParity {
+		return nil, fmt.Errorf("ecc: block of %d too short for %d parity bytes", len(block), c.nParity)
+	}
+	msg := make([]byte, len(block))
+	copy(msg, block)
+	synd := c.syndromes(msg)
+	if allZero(synd) {
+		return msg[:len(msg)-c.nParity], nil
+	}
+	errLoc, err := c.errorLocator(synd)
+	if err != nil {
+		return nil, err
+	}
+	positions, err := findErrors(reversed(errLoc), len(msg))
+	if err != nil {
+		return nil, err
+	}
+	correctErrata(msg, synd, positions)
+	if !allZero(c.syndromes(msg)) {
+		return nil, ErrTooManyErrors
+	}
+	return msg[:len(msg)-c.nParity], nil
+}
+
+// syndromes evaluates the received polynomial at the generator roots
+// (synd[i] = R(2^i)).
+func (c *Codec) syndromes(block []byte) []byte {
+	synd := make([]byte, c.nParity)
+	for i := range synd {
+		synd[i] = polyEval(block, gfPow(2, i))
+	}
+	return synd
+}
+
+func allZero(v []byte) bool {
+	for _, b := range v {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func reversed(p []byte) []byte {
+	out := make([]byte, len(p))
+	for i, v := range p {
+		out[len(p)-1-i] = v
+	}
+	return out
+}
+
+// errorLocator runs Berlekamp-Massey and returns the error locator
+// polynomial, highest-degree first.
+func (c *Codec) errorLocator(synd []byte) ([]byte, error) {
+	errLoc := []byte{1}
+	oldLoc := []byte{1}
+	for i := 0; i < len(synd); i++ {
+		oldLoc = append(oldLoc, 0)
+		delta := synd[i]
+		for j := 1; j < len(errLoc); j++ {
+			delta ^= gfMul(errLoc[len(errLoc)-1-j], synd[i-j])
+		}
+		if delta != 0 {
+			if len(oldLoc) > len(errLoc) {
+				newLoc := scalePoly(oldLoc, delta)
+				oldLoc = scalePoly(errLoc, gfInv(delta))
+				errLoc = newLoc
+			}
+			errLoc = addPoly(errLoc, scalePoly(oldLoc, delta))
+		}
+	}
+	for len(errLoc) > 0 && errLoc[0] == 0 {
+		errLoc = errLoc[1:]
+	}
+	errs := len(errLoc) - 1
+	if errs*2 > c.nParity {
+		return nil, ErrTooManyErrors
+	}
+	return errLoc, nil
+}
+
+func scalePoly(p []byte, s byte) []byte {
+	out := make([]byte, len(p))
+	for i, v := range p {
+		out[i] = gfMul(v, s)
+	}
+	return out
+}
+
+func addPoly(a, b []byte) []byte {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := make([]byte, n)
+	for i := 0; i < len(a); i++ {
+		out[i+n-len(a)] ^= a[i]
+	}
+	for i := 0; i < len(b); i++ {
+		out[i+n-len(b)] ^= b[i]
+	}
+	return out
+}
+
+// findErrors locates error positions by Chien search. errLocRev is the
+// locator polynomial lowest-degree first (i.e. reversed).
+func findErrors(errLocRev []byte, msgLen int) ([]int, error) {
+	errs := len(errLocRev) - 1
+	var positions []int
+	for i := 0; i < msgLen; i++ {
+		if polyEval(errLocRev, gfPow(2, i)) == 0 {
+			positions = append(positions, msgLen-1-i)
+		}
+	}
+	if len(positions) != errs {
+		return nil, ErrTooManyErrors
+	}
+	return positions, nil
+}
+
+// errataLocator builds the locator from known coefficient positions.
+func errataLocator(coefPos []int) []byte {
+	loc := []byte{1}
+	for _, p := range coefPos {
+		loc = polyMul(loc, addPoly([]byte{1}, []byte{gfPow(2, p), 0}))
+	}
+	return loc
+}
+
+// errorEvaluator computes Ω(x) = S(x)·Λ(x) mod x^(nsym+1).
+func errorEvaluator(syndRev, errLoc []byte, nsym int) []byte {
+	prod := polyMul(syndRev, errLoc)
+	if len(prod) > nsym+1 {
+		prod = prod[len(prod)-(nsym+1):]
+	}
+	return prod
+}
+
+// correctErrata computes error magnitudes via Forney's algorithm and
+// repairs msg in place.
+func correctErrata(msg, synd []byte, positions []int) {
+	coefPos := make([]int, len(positions))
+	for i, p := range positions {
+		coefPos[i] = len(msg) - 1 - p
+	}
+	errLoc := errataLocator(coefPos)
+	// The syndrome polynomial carries a leading zero pad (an extra
+	// factor of x), per the standard Forney formulation.
+	syndRev := append(reversed(synd), 0)
+	errEval := errorEvaluator(syndRev, errLoc, len(errLoc)-1)
+
+	// Error locations as field elements.
+	x := make([]byte, len(coefPos))
+	for i, cp := range coefPos {
+		x[i] = gfPow(2, cp)
+	}
+	for i, xi := range x {
+		xiInv := gfInv(xi)
+		// Formal-derivative denominator: Π_{j≠i} (1 - X_j·Xi⁻¹).
+		var den byte = 1
+		for j, xj := range x {
+			if j == i {
+				continue
+			}
+			den = gfMul(den, 1^gfMul(xiInv, xj))
+		}
+		if den == 0 {
+			return // degenerate; final syndrome re-check rejects
+		}
+		// Ω(Xi⁻¹), highest-degree-first evaluation.
+		y := polyEval(errEval, xiInv)
+		y = gfMul(xi, y)
+		msg[positions[i]] ^= gfDiv(y, den)
+	}
+}
+
+// Encode splits data into blocks and appends parity to each; the
+// result's length is deterministic for a given data length.
+func (c *Codec) Encode(data []byte) ([]byte, error) {
+	var out []byte
+	per := c.DataPerBlock()
+	for off := 0; off < len(data); off += per {
+		end := off + per
+		if end > len(data) {
+			end = len(data)
+		}
+		blk, err := c.EncodeBlock(data[off:end])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, blk...)
+	}
+	return out, nil
+}
+
+// Decode reverses Encode, correcting errors; dataLen is the original
+// payload length.
+func (c *Codec) Decode(stream []byte, dataLen int) ([]byte, error) {
+	var out []byte
+	per := c.DataPerBlock()
+	off := 0
+	for remaining := dataLen; remaining > 0; {
+		n := per
+		if remaining < per {
+			n = remaining
+		}
+		blockLen := n + c.nParity
+		if off+blockLen > len(stream) {
+			return nil, fmt.Errorf("ecc: truncated stream (need %d, have %d)", off+blockLen, len(stream))
+		}
+		data, err := c.DecodeBlock(stream[off : off+blockLen])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, data...)
+		off += blockLen
+		remaining -= n
+	}
+	return out, nil
+}

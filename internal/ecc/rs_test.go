@@ -1,0 +1,216 @@
+package ecc
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGFAxioms(t *testing.T) {
+	// Spot-check field axioms over all elements.
+	for a := 1; a < 256; a++ {
+		if got := gfMul(byte(a), gfInv(byte(a))); got != 1 {
+			t.Fatalf("a·a⁻¹ = %d for a=%d", got, a)
+		}
+		if got := gfMul(byte(a), 1); got != byte(a) {
+			t.Fatalf("a·1 = %d for a=%d", got, a)
+		}
+		if got := gfMul(byte(a), 0); got != 0 {
+			t.Fatalf("a·0 = %d for a=%d", got, a)
+		}
+	}
+}
+
+func TestGFMulCommutativeAssociative(t *testing.T) {
+	f := func(a, b, c byte) bool {
+		if gfMul(a, b) != gfMul(b, a) {
+			return false
+		}
+		return gfMul(gfMul(a, b), c) == gfMul(a, gfMul(b, c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGFDistributive(t *testing.T) {
+	f := func(a, b, c byte) bool {
+		return gfMul(a, b^c) == gfMul(a, b)^gfMul(a, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGFDivInvertsMul(t *testing.T) {
+	f := func(a, b byte) bool {
+		if b == 0 {
+			return true
+		}
+		return gfDiv(gfMul(a, b), b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeDecodeClean(t *testing.T) {
+	c, err := NewCodec(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	enc, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) != len(data)+c.NParity() {
+		t.Fatalf("encoded length %d", len(enc))
+	}
+	dec, err := c.Decode(enc, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec, data) {
+		t.Fatalf("roundtrip mismatch: %q", dec)
+	}
+}
+
+func TestCorrectsUpToTErrors(t *testing.T) {
+	c, err := NewCodec(16) // corrects 8 errors per block
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		data := make([]byte, 100)
+		rng.Read(data)
+		enc, err := c.Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nerr := rng.Intn(9) // 0..8
+		corrupted := make([]byte, len(enc))
+		copy(corrupted, enc)
+		seen := map[int]bool{}
+		for e := 0; e < nerr; e++ {
+			pos := rng.Intn(len(corrupted))
+			for seen[pos] {
+				pos = rng.Intn(len(corrupted))
+			}
+			seen[pos] = true
+			corrupted[pos] ^= byte(1 + rng.Intn(255))
+		}
+		dec, err := c.Decode(corrupted, len(data))
+		if err != nil {
+			t.Fatalf("trial %d (%d errors): %v", trial, nerr, err)
+		}
+		if !bytes.Equal(dec, data) {
+			t.Fatalf("trial %d (%d errors): data mismatch", trial, nerr)
+		}
+	}
+}
+
+func TestDetectsTooManyErrors(t *testing.T) {
+	c, err := NewCodec(8) // corrects 4
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 60)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	enc, _ := c.Encode(data)
+	rng := rand.New(rand.NewSource(7))
+	fails := 0
+	for trial := 0; trial < 20; trial++ {
+		corrupted := make([]byte, len(enc))
+		copy(corrupted, enc)
+		for e := 0; e < 20; e++ { // way beyond capacity
+			corrupted[rng.Intn(len(corrupted))] ^= byte(1 + rng.Intn(255))
+		}
+		dec, err := c.Decode(corrupted, len(data))
+		if err != nil || !bytes.Equal(dec, data) {
+			fails++
+		}
+	}
+	if fails < 15 {
+		t.Errorf("only %d/20 heavy corruptions detected or mis-decoded", fails)
+	}
+}
+
+func TestMultiBlockPayload(t *testing.T) {
+	c, err := NewCodec(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, 1000) // several blocks
+	rng.Read(data)
+	enc, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a few bytes in each block region.
+	per := c.DataPerBlock() + c.NParity()
+	for off := 0; off < len(enc); off += per {
+		for e := 0; e < 5; e++ {
+			enc[off+rng.Intn(min(per, len(enc)-off))] ^= 0x5A
+		}
+	}
+	dec, err := c.Decode(enc, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec, data) {
+		t.Fatal("multi-block roundtrip mismatch")
+	}
+}
+
+func TestRoundtripProperty(t *testing.T) {
+	c, err := NewCodec(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		enc, err := c.Encode(data)
+		if err != nil {
+			return false
+		}
+		dec, err := c.Decode(enc, len(data))
+		return err == nil && bytes.Equal(dec, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBadParams(t *testing.T) {
+	if _, err := NewCodec(1); err == nil {
+		t.Error("parity 1 accepted")
+	}
+	if _, err := NewCodec(200); err == nil {
+		t.Error("parity 200 accepted")
+	}
+	c, _ := NewCodec(16)
+	if _, err := c.EncodeBlock(make([]byte, 250)); err == nil {
+		t.Error("oversized block accepted")
+	}
+	if _, err := c.DecodeBlock(make([]byte, 10)); err == nil {
+		t.Error("undersized block accepted")
+	}
+	if _, err := c.Decode([]byte{1, 2, 3}, 100); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,38 @@
+package ecc
+
+// TestDecodeSweep exhaustively checks decode across parity widths,
+// block lengths, and error counts up to the correction bound.
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestDecodeSweep(t *testing.T) {
+	for _, parity := range []int{8, 16, 32} {
+		c, _ := NewCodec(parity)
+		rng := rand.New(rand.NewSource(9))
+		for blen := 10; blen <= c.DataPerBlock(); blen += 37 {
+			for nerr := 0; nerr <= parity/2; nerr++ {
+				data := make([]byte, blen)
+				rng.Read(data)
+				enc, _ := c.EncodeBlock(data)
+				cor := append([]byte{}, enc...)
+				seen := map[int]bool{}
+				for e := 0; e < nerr; e++ {
+					p := rng.Intn(len(cor))
+					for seen[p] {
+						p = rng.Intn(len(cor))
+					}
+					seen[p] = true
+					cor[p] ^= byte(1 + rng.Intn(255))
+				}
+				dec, err := c.DecodeBlock(cor)
+				if err != nil || !bytes.Equal(dec, data) {
+					t.Fatalf("parity=%d blen=%d nerr=%d: err=%v", parity, blen, nerr, err)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,421 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// fast options keep the suite quick; the CLI uses larger values.
+var fast = Options{Iterations: 20, Warmup: 8, Samples: 4}
+
+func TestFig3aCapacityKnee(t *testing.T) {
+	f, err := Fig3aCacheSize(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := f.Series[0].Y
+	x := f.Series[0].X
+	at := func(region float64) float64 {
+		for i := range x {
+			if x[i] == region {
+				return y[i]
+			}
+		}
+		t.Fatalf("no point at %v", region)
+		return 0
+	}
+	if v := at(128); v > 5 {
+		t.Errorf("MITE µops at 128 regions = %.1f, want ≈0", v)
+	}
+	if v := at(240); v > 10 {
+		t.Errorf("MITE µops at 240 regions = %.1f, want ≈0", v)
+	}
+	if v := at(320); v < 100 {
+		t.Errorf("MITE µops at 320 regions = %.1f, want large (capacity exceeded)", v)
+	}
+}
+
+func TestFig3bAssociativityKnee(t *testing.T) {
+	f, err := Fig3bAssociativity(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := f.Series[0].Y
+	// Ways 1..8 fit; 9+ overflow the set.
+	for i := 0; i < 8; i++ {
+		if y[i] > 1 {
+			t.Errorf("ways=%d: MITE µops %.2f, want ≈0", i+1, y[i])
+		}
+	}
+	if y[8] <= y[7] {
+		t.Errorf("no rise at 9 ways: %.2f vs %.2f", y[8], y[7])
+	}
+	if y[14] < 4 {
+		t.Errorf("ways=15: MITE µops %.2f, want several per iteration", y[14])
+	}
+}
+
+func TestFig4PlacementPlateaus(t *testing.T) {
+	f, err := Fig4Placement(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := map[string]Series{}
+	for _, s := range f.Series {
+		series[s.Label] = s
+	}
+	// 19+ µops per region exceed the 18-µop (3-line) cap: never cached,
+	// for every curve.
+	for _, label := range []string{"2 regions", "4 regions", "8 regions"} {
+		s, ok := series[label]
+		if !ok {
+			t.Fatalf("missing series %q", label)
+		}
+		if v := s.Y[19]; v > 2 {
+			t.Errorf("%s @19 µops: DSB %.1f, want ≈0 (uncacheable)", label, v)
+		}
+	}
+	// Two regions of 18 µops (6 lines) fit the 8-way set and stay
+	// cached; with 4 or 8 regions the same size thrashes.
+	if v := series["2 regions"].Y[17]; v < 10 {
+		t.Errorf("2 regions @18 µops: DSB %.1f, want cached", v)
+	}
+	// The 8-region curve collapses beyond 6 µops (8 × 2 lines > 8 ways),
+	// while the 2-region curve keeps rising.
+	s8 := series["8 regions"]
+	if s8.Y[6] >= s8.Y[5] {
+		t.Errorf("8 regions: no drop after 6 µops (%.1f → %.1f)", s8.Y[5], s8.Y[6])
+	}
+	s2 := series["2 regions"]
+	if s2.Y[17] < s2.Y[5] {
+		t.Errorf("2 regions: curve should keep rising to 18 µops")
+	}
+}
+
+func TestFig5ReplacementDiagonal(t *testing.T) {
+	g, err := Fig5ReplacementGrid(Options{Samples: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := func(main, evict int) float64 {
+		return g.Cell[main-1][evict]
+	}
+	// No evictor: full streaming (48 µops + tail).
+	if v := cell(6, 0); v < 40 {
+		t.Errorf("main=6 evict=0: %.0f, want ≈48+", v)
+	}
+	// A hot main loop survives a cooler evictor…
+	if v := cell(8, 4); v < 40 {
+		t.Errorf("main=8 evict=4: %.0f, want retained", v)
+	}
+	// …but a hotter evictor displaces a cool main loop.
+	if v := cell(1, 6); v > 10 {
+		t.Errorf("main=1 evict=6: %.0f, want displaced", v)
+	}
+	if v := cell(2, 8); v > 10 {
+		t.Errorf("main=2 evict=8: %.0f, want displaced", v)
+	}
+}
+
+func TestFig6PartitionHalvesCapacity(t *testing.T) {
+	f, err := Fig6SMTPartition(Options{Iterations: 15, Warmup: 6}, Fig6Pause)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var smt, st Series
+	for _, s := range f.Series {
+		switch s.Label {
+		case "SMT -- T1 with T2":
+			smt = s
+		case "Single-Thread T1":
+			st = s
+		}
+	}
+	knee := func(s Series) float64 {
+		base := s.Y[0]
+		for i := range s.X {
+			if s.Y[i] > base+200 {
+				return s.X[i]
+			}
+		}
+		return s.X[len(s.X)-1]
+	}
+	kSMT, kST := knee(smt), knee(st)
+	if kSMT >= kST {
+		t.Errorf("SMT knee %v not below single-thread knee %v", kSMT, kST)
+	}
+	ratio := kST / kSMT
+	if ratio < 1.5 || ratio > 3 {
+		t.Errorf("capacity ratio %.2f, want ≈2 (static halving)", ratio)
+	}
+}
+
+func TestFig7aNoCrossThreadContention(t *testing.T) {
+	f, err := Fig7aSetProbe(Options{Iterations: 12, Warmup: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, y := range f.Series[0].Y {
+		// Streaming 48 µops/iteration: any real contention would show
+		// hundreds of MITE µops per iteration.
+		if y > 24 {
+			t.Errorf("set %d: %.1f MITE µops/iter — partitions are leaking", i, y)
+		}
+	}
+}
+
+func TestFig7bSixteenSetsPerThread(t *testing.T) {
+	f, err := Fig7bSetCount(Options{Iterations: 12, Warmup: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var smt, st Series
+	for _, s := range f.Series {
+		if s.Label == "SMT" {
+			smt = s
+		} else {
+			st = s
+		}
+	}
+	// Single thread streams all 32 8-way regions; SMT only 16.
+	if st.Y[31] > 50 {
+		t.Errorf("single-thread @32 regions: %.1f MITE µops, want ≈0", st.Y[31])
+	}
+	if smt.Y[23] < smt.Y[15]+100 {
+		t.Errorf("SMT no knee after 16 regions: y[16]=%.1f y[24]=%.1f", smt.Y[15], smt.Y[23])
+	}
+}
+
+func TestFig8MutualExclusion(t *testing.T) {
+	m, err := Fig8Striping(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Overlap) != 0 {
+		t.Errorf("tiger and zebra overlap in sets %v", m.Overlap)
+	}
+	if len(m.TigerOcc) != 8 || len(m.ZebraOcc) != 8 {
+		t.Errorf("occupancy: tiger %d sets, zebra %d sets, want 8 each",
+			len(m.TigerOcc), len(m.ZebraOcc))
+	}
+	for set, n := range m.TigerOcc {
+		if n != 4 {
+			t.Errorf("tiger set %d holds %d ways, want 4", set, n)
+		}
+	}
+}
+
+func TestFig10FenceMatrix(t *testing.T) {
+	f, err := Fig10Fences(Options{Samples: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range f.Series {
+		mean := 0.0
+		for _, y := range s.Y {
+			mean += y
+		}
+		mean /= float64(len(s.Y))
+		wantSignal := !strings.Contains(s.Label, "cpuid")
+		hasSignal := mean > 20
+		if hasSignal != wantSignal {
+			t.Errorf("%s: mean gap %.0f cycles, want signal=%v", s.Label, mean, wantSignal)
+		}
+	}
+}
+
+func TestTable1AllChannelsWork(t *testing.T) {
+	tab, err := Table1Channels(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[1] == "100.00%" {
+			t.Errorf("%s: total corruption", row[0])
+		}
+	}
+}
+
+func TestTable2Contrast(t *testing.T) {
+	tab, err := Table2SpectreTrace(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(tab.Rows))
+	}
+	// Both rows must have leaked without bit errors.
+	for _, row := range tab.Rows {
+		if row[5] != "0" {
+			t.Errorf("%s: %s bits wrong", row[0], row[5])
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig3a", "fig3b", "fig4", "fig5", "fig6a", "fig6b",
+		"fig7a", "fig7b", "fig8", "fig9", "fig10", "table1", "table2",
+		"mitigations", "capacity", "invisispec",
+	}
+	for _, id := range want {
+		if _, ok := Registry[id]; !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(IDs()) != len(want) {
+		t.Errorf("registry has %d entries, want %d: %v", len(IDs()), len(want), IDs())
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	fig := &Figure{ID: "x", Title: "t", XAxis: "a", YAxis: "b",
+		Series: []Series{{Label: "s", X: []float64{1, 2}, Y: []float64{3, 4}}}}
+	if out := fig.Render(); !strings.Contains(out, "1\t3") {
+		t.Errorf("figure render: %q", out)
+	}
+	if out := fig.CSV(); !strings.Contains(out, "s,1,3") {
+		t.Errorf("figure csv: %q", out)
+	}
+	grid := &Grid{ID: "g", XVals: []int{0, 1}, YVals: []int{1},
+		Cell: [][]float64{{5, 6}}}
+	if out := grid.Render(); !strings.Contains(out, "5") {
+		t.Errorf("grid render: %q", out)
+	}
+	tab := &Table{ID: "t", Columns: []string{"a", "b"}, Rows: [][]string{{"1", "2"}}}
+	if out := tab.Render(); !strings.Contains(out, "a") || !strings.Contains(out, "1") {
+		t.Errorf("table render: %q", out)
+	}
+}
+
+func TestPayloadDeterministic(t *testing.T) {
+	a := testPayload(16, 42)
+	b := testPayload(16, 42)
+	c := testPayload(16, 43)
+	if string(a) != string(b) {
+		t.Error("same seed differs")
+	}
+	if string(a) == string(c) {
+		t.Error("different seeds agree")
+	}
+}
+
+func TestMitigationMatrix(t *testing.T) {
+	tab, err := MitigationMatrix(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows %d", len(tab.Rows))
+	}
+	byName := map[string][]string{}
+	for _, r := range tab.Rows {
+		byName[r[0]] = r
+	}
+	if byName["none"][1] != "open" {
+		t.Error("baseline user/kernel channel not open")
+	}
+	for _, m := range []string{"flush-on-switch", "privilege-partition"} {
+		if byName[m][1] != "CLOSED" {
+			t.Errorf("%s did not close the user/kernel channel", m)
+		}
+		// The paper's caveat: variant-1 (user-only) survives both.
+		if byName[m][4] != "open" {
+			t.Errorf("%s unexpectedly closed variant-1", m)
+		}
+	}
+}
+
+func TestCapacityKneesTrackGenerations(t *testing.T) {
+	tab, err := CapacityAcrossGenerations(Options{Iterations: 20, Warmup: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{
+		"Intel Skylake/Coffee Lake": 256,
+		"Intel Sunny Cove":          384,
+		"AMD Zen":                   256,
+		"AMD Zen 2":                 512,
+	}
+	for _, row := range tab.Rows {
+		lines := want[row[0]]
+		var knee int
+		if _, err := fmt.Sscan(row[3], &knee); err != nil {
+			t.Fatalf("%s: knee %q", row[0], row[3])
+		}
+		// The knee must land within one sweep step (8) of the line
+		// capacity.
+		if knee < lines || knee > lines+16 {
+			t.Errorf("%s: knee %d, want ≈%d", row[0], knee, lines)
+		}
+	}
+}
+
+func TestInvisibleSpeculationPenetrated(t *testing.T) {
+	tab, err := InvisibleSpeculation(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows %d", len(tab.Rows))
+	}
+	base, def := tab.Rows[0], tab.Rows[1]
+	if base[1] != "leaks" || base[2] != "LEAKS" {
+		t.Errorf("baseline row %v: both variants should leak", base)
+	}
+	// §VII: invisible speculation blocks the LLC disclosure primitive
+	// but not the µop-cache one.
+	if def[1] != "CLOSED" {
+		t.Errorf("invisible speculation did not block classic Spectre: %v", def)
+	}
+	if def[2] != "LEAKS" {
+		t.Errorf("invisible speculation blocked the µop-cache variant: %v", def)
+	}
+}
+
+func TestFig9TuningShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig9 sweeps 15 channel configurations")
+	}
+	f, err := Fig9Tuning(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := map[string]Series{}
+	for _, s := range f.Series {
+		series[s.Label] = s
+	}
+	// Bandwidth falls monotonically as probed sets grow.
+	bw := series["bandwidth-vs-sets"].Y
+	for i := 1; i < len(bw); i++ {
+		if bw[i] >= bw[i-1] {
+			t.Errorf("bandwidth-vs-sets not decreasing at %d: %v", i, bw)
+			break
+		}
+	}
+	// The paper's operating point (8 sets, 6 ways, 5 samples) is
+	// error-free.
+	errSets := series["error-vs-sets"]
+	for i, x := range errSets.X {
+		if x == 8 && errSets.Y[i] != 0 {
+			t.Errorf("8-set error rate %v", errSets.Y[i])
+		}
+	}
+	// Probing 6+ of the 8 ways transmits cleanly; fewer leaves the
+	// sender room to dodge the receiver.
+	errWays := series["error-vs-ways"]
+	for i, x := range errWays.X {
+		if x >= 6 && errWays.Y[i] > 0.05 {
+			t.Errorf("ways=%v error %v", x, errWays.Y[i])
+		}
+	}
+	// More samples cost bandwidth.
+	bws := series["bandwidth-vs-samples"].Y
+	if bws[len(bws)-1] >= bws[0] {
+		t.Errorf("bandwidth-vs-samples not decreasing: %v", bws)
+	}
+}

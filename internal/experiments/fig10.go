@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"deaduops/internal/cpu"
+	"deaduops/internal/transient"
+	"deaduops/internal/victim"
+)
+
+func init() {
+	register("fig10", func(o Options) (Renderable, error) { return Fig10Fences(o) })
+}
+
+// Fig10Fences reproduces Fig 10: the variant-2 micro-op cache timing
+// signal under three victims — no fence, LFENCE, and CPUID between the
+// authorization check and the transmitter. The signal (probe-time gap
+// between secret=1 and secret=0) survives LFENCE, because the
+// transmitter's footprint is left by fetch, not execution; only the
+// fetch-serializing CPUID closes it.
+func Fig10Fences(o Options) (*Figure, error) {
+	o = o.withDefaults(0, 0, 8)
+	fig := &Figure{
+		ID:    "fig10",
+		Title: "Micro-op cache timing signal with CPUID, LFENCE, and no fencing",
+		XAxis: "trial",
+		YAxis: "probe-time gap zero−one (cycles; >0 means the secret leaks)",
+	}
+	for _, f := range []victim.Fence{victim.NoFence, victim.WithLFENCE, victim.WithCPUID} {
+		c := cpu.New(cpu.Intel())
+		v, err := transient.NewVariant2(c, f)
+		if err != nil {
+			return nil, err
+		}
+		s := Series{Label: "fence=" + f.String()}
+		// Warm-up pass.
+		if _, _, err := v.SignalStrength(1); err != nil {
+			return nil, err
+		}
+		for trial := 0; trial < o.Samples; trial++ {
+			one, zero, err := v.SignalStrength(1)
+			if err != nil {
+				return nil, err
+			}
+			s.X = append(s.X, float64(trial))
+			s.Y = append(s.Y, zero-one)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}

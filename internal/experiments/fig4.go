@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+
+	"deaduops/internal/codegen"
+	"deaduops/internal/cpu"
+	"deaduops/internal/isa"
+	"deaduops/internal/perfctr"
+)
+
+func init() {
+	register("fig4", func(o Options) (Renderable, error) { return Fig4Placement(o) })
+}
+
+// Fig4Placement reproduces Fig 4: loops of 2, 4, and 8 same-set regions
+// with a growing number of micro-ops per region. The µops delivered
+// from the micro-op cache (DSB) plateau at the placement-rule limits:
+// a region may hold at most 18 µops (3 lines), and the set's 8 ways
+// bound the product regions × lines.
+func Fig4Placement(o Options) (*Figure, error) {
+	o = o.withDefaults(40, 10, 1)
+	fig := &Figure{
+		ID:    "fig4",
+		Title: "Micro-op cache placement rules",
+		XAxis: "Micro-Ops per Region",
+		YAxis: "Micro-Ops from DSB per region per iteration",
+	}
+	for _, regions := range []int{2, 4, 8} {
+		var xs, ys []float64
+		for uops := 1; uops <= 24; uops++ {
+			dsb, err := fig4Point(regions, uops, o)
+			if err != nil {
+				return nil, err
+			}
+			xs = append(xs, float64(uops))
+			ys = append(ys, dsb/float64(regions))
+		}
+		fig.Series = append(fig.Series, Series{
+			Label: fmt.Sprintf("%d regions", regions),
+			X:     xs, Y: ys,
+		})
+	}
+	return fig, nil
+}
+
+// fig4Point returns steady-state DSB µops per iteration for a loop of
+// `regions` same-set regions of `uops` µops each.
+func fig4Point(regions, uops int, o Options) (float64, error) {
+	spec := &codegen.ChainSpec{
+		Base:         benchBase,
+		Sets:         []int{0},
+		Ways:         regions,
+		NopPerRegion: uops - 1,
+		NopLen:       1,
+		Label:        "plc",
+	}
+	prog, err := spec.LoopProgram(tailAddrFor(spec))
+	if err != nil {
+		return 0, err
+	}
+	c := cpu.New(cpu.Intel())
+	c.LoadProgram(prog)
+	c.SetReg(0, isa.R14, int64(o.Warmup))
+	if r := c.Run(0, prog.Entry, maxRunCycle); r.TimedOut {
+		return 0, fmt.Errorf("fig4 warmup timed out (%d regions × %d µops)", regions, uops)
+	}
+	before := c.Counters(0).Snapshot()
+	c.SetReg(0, isa.R14, int64(o.Iterations))
+	res := c.Run(0, prog.Entry, maxRunCycle)
+	if res.TimedOut {
+		return 0, fmt.Errorf("fig4 run timed out (%d regions × %d µops)", regions, uops)
+	}
+	delta := c.Counters(0).Snapshot().Delta(before)
+	// Subtract the loop tail's DSB contribution by measuring only the
+	// chain regions: the tail is small and constant; the paper's
+	// counter similarly includes loop overhead. Report the raw chain
+	// average.
+	perIter := float64(delta.Get(perfctr.DSBUops)) / float64(o.Iterations)
+	// Remove the (cached) loop-tail µops: sub+cmp+jcc fuse to 2 µops
+	// plus the entry jmp on the first iteration only.
+	const tailUops = 2
+	perIter -= tailUops
+	if perIter < 0 {
+		perIter = 0
+	}
+	return perIter, nil
+}

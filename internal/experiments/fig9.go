@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"deaduops/internal/attack"
+	"deaduops/internal/channel"
+	"deaduops/internal/cpu"
+)
+
+func init() {
+	register("fig9", func(o Options) (Renderable, error) { return Fig9Tuning(o) })
+}
+
+// Fig9Tuning reproduces Fig 9: the same-address-space channel's error
+// rate and bandwidth as the tiger/zebra geometry (sets, ways) and the
+// probe sample count vary, one parameter at a time around the paper's
+// operating point (8 sets, 6 ways, 5 samples).
+func Fig9Tuning(o Options) (*Figure, error) {
+	o = o.withDefaults(0, 0, 0)
+	payload := testPayload(32, o.Seed)
+
+	fig := &Figure{
+		ID:    "fig9",
+		Title: "Set/way occupancy and sample count vs accuracy and bandwidth",
+		XAxis: "parameter value (sets | ways | samples)",
+		YAxis: "error rate / bandwidth (Kbit/s)",
+	}
+
+	run := func(cfg channel.Config) (errRate, kbps float64, err error) {
+		c := cpu.New(cpu.Intel())
+		ch, err := channel.NewSameAddressSpace(c, cfg)
+		if err != nil {
+			// A configuration with no measurable signal transmits
+			// garbage: report 50% error at zero effective bandwidth
+			// rather than failing the sweep.
+			return 0.5, 0, nil
+		}
+		_, res, err := ch.Transmit(payload)
+		if err != nil {
+			return 0, 0, err
+		}
+		return res.ErrorRate(), res.BandwidthKbps(), nil
+	}
+
+	base := channel.DefaultConfig()
+
+	var setX, setErr, setBW []float64
+	for _, nsets := range []int{1, 2, 4, 8, 16} {
+		cfg := base
+		cfg.Geometry = attack.Geometry{NSets: nsets, NWays: base.Geometry.NWays}
+		e, bw, err := run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		setX = append(setX, float64(nsets))
+		setErr = append(setErr, e)
+		setBW = append(setBW, bw)
+	}
+	fig.Series = append(fig.Series,
+		Series{Label: "error-vs-sets", X: setX, Y: setErr},
+		Series{Label: "bandwidth-vs-sets", X: setX, Y: setBW})
+
+	var wayX, wayErr, wayBW []float64
+	for nways := 4; nways <= 8; nways++ {
+		cfg := base
+		cfg.Geometry = attack.Geometry{NSets: base.Geometry.NSets, NWays: nways}
+		e, bw, err := run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		wayX = append(wayX, float64(nways))
+		wayErr = append(wayErr, e)
+		wayBW = append(wayBW, bw)
+	}
+	fig.Series = append(fig.Series,
+		Series{Label: "error-vs-ways", X: wayX, Y: wayErr},
+		Series{Label: "bandwidth-vs-ways", X: wayX, Y: wayBW})
+
+	var smpX, smpErr, smpBW []float64
+	for _, samples := range []int64{1, 2, 5, 10, 20} {
+		cfg := base
+		cfg.ProbeIters = samples
+		e, bw, err := run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		smpX = append(smpX, float64(samples))
+		smpErr = append(smpErr, e)
+		smpBW = append(smpBW, bw)
+	}
+	fig.Series = append(fig.Series,
+		Series{Label: "error-vs-samples", X: smpX, Y: smpErr},
+		Series{Label: "bandwidth-vs-samples", X: smpX, Y: smpBW})
+
+	return fig, nil
+}
+
+// testPayload generates a deterministic pseudorandom payload from seed
+// (splitmix64; no time/rand dependencies so runs are reproducible).
+func testPayload(n int, seed uint64) []byte {
+	out := make([]byte, n)
+	x := seed
+	for i := range out {
+		x += 0x9E3779B97F4A7C15
+		z := x
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		out[i] = byte(z ^ (z >> 31))
+	}
+	return out
+}

@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+
+	"deaduops/internal/channel"
+	"deaduops/internal/cpu"
+	"deaduops/internal/ecc"
+	"deaduops/internal/transient"
+)
+
+func init() {
+	register("table1", func(o Options) (Renderable, error) { return Table1Channels(o) })
+	register("table2", func(o Options) (Renderable, error) { return Table2SpectreTrace(o) })
+}
+
+// rsParity is the Reed-Solomon redundancy used for the corrected
+// bandwidth column (~20% overhead, as in the paper).
+const rsParity = 42 // 42/213 ≈ 19.7% overhead
+
+// Table1Channels reproduces Table I: bit error rate, raw bandwidth, and
+// Reed-Solomon-corrected bandwidth for the four channel modes.
+func Table1Channels(o Options) (*Table, error) {
+	o = o.withDefaults(0, 0, 0)
+	payload := testPayload(48, o.Seed)
+
+	codec, err := ecc.NewCodec(rsParity)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:    "table1",
+		Title: "Bandwidth and Error Rate Comparison",
+		Columns: []string{
+			"Mode", "Bit Error Rate", "Bandwidth (Kbit/s)", "Bandwidth with error correction",
+		},
+	}
+
+	addRow := func(mode string, res channel.Result) {
+		corrected := res.BandwidthKbps() / (1 + codec.Overhead())
+		t.Rows = append(t.Rows, []string{
+			mode,
+			fmt.Sprintf("%.2f%%", 100*res.ErrorRate()),
+			fmt.Sprintf("%.2f", res.BandwidthKbps()),
+			fmt.Sprintf("%.2f", corrected),
+		})
+	}
+
+	// Same address space.
+	{
+		c := cpu.New(cpu.Intel())
+		ch, err := channel.NewSameAddressSpace(c, channel.DefaultConfig())
+		if err != nil {
+			return nil, fmt.Errorf("table1 same-AS: %w", err)
+		}
+		_, res, err := ch.Transmit(payload)
+		if err != nil {
+			return nil, err
+		}
+		addRow("Same address space", res)
+	}
+
+	// Same address space, user/kernel.
+	{
+		c := cpu.New(cpu.Intel())
+		ch, err := channel.NewUserKernel(c, channel.DefaultConfig())
+		if err != nil {
+			return nil, fmt.Errorf("table1 user/kernel: %w", err)
+		}
+		ch.WriteSecret(payload)
+		got, res, err := ch.Leak(len(payload))
+		if err != nil {
+			return nil, err
+		}
+		res.BitErrors = bitErrors(payload, got)
+		addRow("Same address space (User/Kernel)", res)
+	}
+
+	// Cross-thread (SMT) on the AMD-style competitively shared cache.
+	{
+		c := cpu.New(cpu.AMD())
+		ch, err := channel.NewCrossSMT(c, channel.DefaultConfig())
+		if err != nil {
+			return nil, fmt.Errorf("table1 cross-SMT: %w", err)
+		}
+		_, res, err := ch.Transmit(payload)
+		if err != nil {
+			return nil, err
+		}
+		addRow("Cross-thread (SMT)", res)
+	}
+
+	// Transient execution attack (variant 1).
+	{
+		c := cpu.New(cpu.Intel())
+		v, err := transient.NewVariant1(c)
+		if err != nil {
+			return nil, fmt.Errorf("table1 transient: %w", err)
+		}
+		v.WriteSecret(payload)
+		got, st, err := v.Leak(len(payload))
+		if err != nil {
+			return nil, err
+		}
+		res := channel.Result{
+			Bits:      st.Bits,
+			BitErrors: bitErrors(payload, got),
+			Cycles:    st.Cycles,
+		}
+		addRow("Transient Execution Attack", res)
+	}
+
+	return t, nil
+}
+
+// bitErrors counts differing bits between two equal-length buffers.
+func bitErrors(a, b []byte) int {
+	n := 0
+	for i := range a {
+		d := a[i] ^ b[i]
+		for d != 0 {
+			n += int(d & 1)
+			d >>= 1
+		}
+	}
+	return n
+}
+
+// Table2SpectreTrace reproduces Table II: the classic Spectre-v1
+// (flush+reload over the LLC) and the µop-cache variant leaking the
+// same secret, traced with performance counters.
+func Table2SpectreTrace(o Options) (*Table, error) {
+	o = o.withDefaults(0, 0, 0)
+	secret := testPayload(8, o.Seed)
+
+	t := &Table{
+		ID:    "table2",
+		Title: "Tracing Spectre Variants using Performance Counters",
+		Columns: []string{
+			"Attack", "Time Taken", "LLC References", "LLC Misses",
+			"µop Cache Miss Penalty", "Bits Wrong",
+		},
+	}
+
+	// Classic Spectre-v1 over the LLC.
+	{
+		c := cpu.New(cpu.Intel())
+		cl, err := transient.NewClassicSpectre(c)
+		if err != nil {
+			return nil, err
+		}
+		cl.WriteSecret(secret)
+		got, st, err := cl.Leak(len(secret))
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			"Spectre (original)",
+			fmt.Sprintf("%.6f s", st.Seconds(channel.ClockGHz)),
+			fmt.Sprint(st.LLCRefs),
+			fmt.Sprint(st.LLCMisses),
+			fmt.Sprintf("%d cycles", st.UopMissPenalty),
+			fmt.Sprint(bitErrors(secret, got)),
+		})
+	}
+
+	// µop cache variant.
+	{
+		c := cpu.New(cpu.Intel())
+		v, err := transient.NewVariant1(c)
+		if err != nil {
+			return nil, err
+		}
+		v.WriteSecret(secret)
+		got, st, err := v.Leak(len(secret))
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			"Spectre (µop Cache)",
+			fmt.Sprintf("%.6f s", st.Seconds(channel.ClockGHz)),
+			fmt.Sprint(st.LLCRefs),
+			fmt.Sprint(st.LLCMisses),
+			fmt.Sprintf("%d cycles", st.UopMissPenalty),
+			fmt.Sprint(bitErrors(secret, got)),
+		})
+	}
+
+	return t, nil
+}

@@ -1,0 +1,590 @@
+// Package frontend models the fetch engine of one hardware thread: the
+// branch-prediction-driven next-fetch logic, the micro-op cache (DSB)
+// streaming path, the legacy decode (MITE) path with its switch
+// penalty, and the instruction decode queue (IDQ) feeding the backend.
+//
+// The security-relevant contract implemented here: fetch follows
+// *predicted* control flow and fills the micro-op cache as it decodes —
+// including along paths that are later squashed. Squash resets fetch
+// state but never rolls back micro-op cache contents.
+package frontend
+
+import (
+	"deaduops/internal/asm"
+	"deaduops/internal/bpu"
+	"deaduops/internal/decode"
+	"deaduops/internal/isa"
+	"deaduops/internal/mem"
+	"deaduops/internal/perfctr"
+	"deaduops/internal/uopcache"
+)
+
+// Config parameterizes the fetch engine.
+type Config struct {
+	IDQCapacity int
+	Decode      decode.Config
+	// KernelEntry is the architectural SYSCALL target.
+	KernelEntry uint64
+	// LSDCapacity enables the loop stream detector when nonzero: loops
+	// of at most this many µops lock into the IDQ and replay without
+	// touching the micro-op cache (§II-C). Zero disables it — the
+	// modelled Skylake ships with the LSD fused off (erratum SKL150),
+	// which is why the paper never needed to defeat it.
+	LSDCapacity int
+}
+
+// DefaultConfig returns a Skylake-like front end (LSD disabled, per
+// erratum SKL150).
+func DefaultConfig() Config {
+	return Config{IDQCapacity: 64, Decode: decode.Skylake()}
+}
+
+// lsdRec is one fetch group retained for loop detection.
+type lsdRec struct {
+	entry uint64
+	uops  []isa.Uop
+}
+
+// mode is the active µop delivery path.
+type mode int
+
+const (
+	modeDSB mode = iota
+	modeMITE
+)
+
+// FrontEnd is one hardware thread's fetch engine.
+type FrontEnd struct {
+	cfg    Config
+	thread int
+	prog   *asm.Program
+	uc     *uopcache.Cache
+	hier   *mem.Hierarchy
+	bp     *bpu.BPU
+	ctr    *perfctr.Counters
+
+	pc        uint64
+	active    bool // fetch enabled (false: stalled on fault/halt/serialize)
+	serialize bool // CPUID in flight: fetch stops until it retires
+	// stallPen counts down DSB-miss-attributed stalls (switch penalty);
+	// stallOther counts down unattributed stalls (icache miss fill,
+	// misprediction redirect bubble).
+	stallPen   int
+	stallOther int
+	m          mode
+
+	// pending delivery state
+	pendingUops   []isa.Uop          // DSB stream awaiting IDQ slots
+	pendingGroup  *fetchGroup        // fetch-control applied once the stream drains
+	plan          *decode.RegionPlan // MITE schedule in progress
+	planIdx       int
+	planGroup     *fetchGroup // group being decoded by MITE (for fill)
+	planDelivered []isa.Uop   // µops delivered so far from the plan (LSD recording)
+	sysRet        []uint64    // syscall return-address stack (architectural)
+
+	// LSD (loop stream detector) state: recently delivered groups and,
+	// when a loop locks, the replaying µop ring.
+	lsdLog    []lsdRec
+	lsdLoop   []isa.Uop
+	lsdIdx    int
+	lsdActive bool
+
+	idq []isa.Uop
+}
+
+// New builds a fetch engine for one hardware thread.
+func New(cfg Config, thread int, uc *uopcache.Cache, hier *mem.Hierarchy, bp *bpu.BPU, ctr *perfctr.Counters) *FrontEnd {
+	return &FrontEnd{
+		cfg:    cfg,
+		thread: thread,
+		uc:     uc,
+		hier:   hier,
+		bp:     bp,
+		ctr:    ctr,
+	}
+}
+
+// SetProgram installs the code image.
+func (f *FrontEnd) SetProgram(p *asm.Program) { f.prog = p }
+
+// Redirect restarts fetch at pc, discarding all pending fetch state.
+// The backend calls this at misprediction recovery and at thread start.
+func (f *FrontEnd) Redirect(pc uint64) {
+	f.pc = pc
+	f.active = true
+	f.serialize = false
+	f.stallPen = 0
+	f.stallOther = 0
+	f.m = modeDSB
+	f.pendingUops = nil
+	f.pendingGroup = nil
+	f.plan = nil
+	f.planIdx = 0
+	f.planGroup = nil
+	f.lsdLog = f.lsdLog[:0]
+	f.lsdLoop = nil
+	f.lsdIdx = 0
+	f.lsdActive = false
+	f.idq = f.idq[:0]
+}
+
+// Stop halts fetch (thread finished).
+func (f *FrontEnd) Stop() { f.active = false }
+
+// AddStall inserts redirect-bubble cycles not attributed to micro-op
+// cache misses.
+func (f *FrontEnd) AddStall(n int) { f.stallOther += n }
+
+// SerializeDone is signalled by the backend when a fetch-serializing
+// instruction (CPUID) retires; fetch resumes at the next address.
+func (f *FrontEnd) SerializeDone(resume uint64) {
+	f.serialize = false
+	f.active = true
+	f.pc = resume
+	f.pendingUops = nil
+	f.pendingGroup = nil
+	f.plan = nil
+	f.planGroup = nil
+	f.m = modeDSB
+}
+
+// InMITE reports whether the legacy decode pipeline is active (used to
+// arbitrate the shared decoders between SMT threads).
+func (f *FrontEnd) InMITE() bool { return f.m == modeMITE && f.plan != nil }
+
+// IDQLen returns the number of micro-ops buffered for the backend.
+func (f *FrontEnd) IDQLen() int { return len(f.idq) }
+
+// Pop removes up to n micro-ops from the IDQ for rename/dispatch.
+func (f *FrontEnd) Pop(n int) []isa.Uop {
+	if n > len(f.idq) {
+		n = len(f.idq)
+	}
+	out := make([]isa.Uop, n)
+	copy(out, f.idq[:n])
+	f.idq = f.idq[:copy(f.idq, f.idq[n:])]
+	return out
+}
+
+// fetchGroup is one fetch unit of work: the static macro-ops from the
+// entry point to the region end or the first control-flow redirect the
+// predictor follows.
+type fetchGroup struct {
+	insts []*isa.Inst
+	entry uint64
+	// next is where fetch continues after the group.
+	next uint64
+	// preds maps branch-End()-address → predicted (taken, target);
+	// consumed when annotating delivered branch micro-ops.
+	preds map[uint64]predOut
+	// halt: group contains HALT — fetch stops after delivery.
+	// serialize: group contains CPUID — fetch stops until retire.
+	halt      bool
+	serialize bool
+	// fault: entry address is unmapped; no micro-ops can be delivered.
+	fault bool
+}
+
+type predOut struct {
+	taken  bool
+	target uint64
+	valid  bool // predictor produced a target (indirect may not)
+}
+
+// planFetch walks static code from pc, consulting the predictors, and
+// returns the fetch group. The group never crosses a region boundary
+// (micro-op cache traces are per-region) and ends early at the first
+// branch the predictor follows.
+func (f *FrontEnd) planFetch(pc uint64) *fetchGroup {
+	g := &fetchGroup{entry: pc, preds: make(map[uint64]predOut)}
+	region := f.uc.RegionOf(pc)
+	regionEnd := region + f.uc.Config().RegionSize()
+	cur := pc
+	for cur < regionEnd {
+		in := f.prog.At(cur)
+		if in == nil {
+			if len(g.insts) == 0 {
+				g.fault = true
+			}
+			// Unmapped bytes inside a region: stop the group here.
+			g.next = cur
+			return g
+		}
+		g.insts = append(g.insts, in)
+		switch in.Op {
+		case isa.HALT:
+			g.halt = true
+			g.next = in.End()
+			return g
+		case isa.CPUID:
+			g.serialize = true
+			g.next = in.End()
+			return g
+		case isa.JMP:
+			g.preds[in.End()] = predOut{taken: true, target: uint64(in.Imm), valid: true}
+			g.next = uint64(in.Imm)
+			return g
+		case isa.CALL:
+			f.bp.PushRSB(in.End())
+			g.preds[in.End()] = predOut{taken: true, target: uint64(in.Imm), valid: true}
+			g.next = uint64(in.Imm)
+			return g
+		case isa.JCC:
+			taken := f.bp.PredictDirection(in.Addr)
+			g.preds[in.End()] = predOut{taken: taken, target: uint64(in.Imm), valid: true}
+			if taken {
+				g.next = uint64(in.Imm)
+				return g
+			}
+		case isa.JMPI, isa.CALLI:
+			t, ok := f.bp.PredictIndirect(in.Addr)
+			g.preds[in.End()] = predOut{taken: true, target: t, valid: ok}
+			if in.Op == isa.CALLI {
+				f.bp.PushRSB(in.End())
+			}
+			if ok {
+				g.next = t
+			} else {
+				// No prediction: fetch stalls until the branch
+				// resolves and redirects.
+				g.next = 0
+			}
+			return g
+		case isa.RET:
+			t, ok := f.bp.PopRSB()
+			g.preds[in.End()] = predOut{taken: true, target: t, valid: ok}
+			if ok {
+				g.next = t
+			} else {
+				g.next = 0
+			}
+			return g
+		case isa.SYSCALL:
+			g.preds[in.End()] = predOut{taken: true, target: f.cfg.KernelEntry, valid: true}
+			f.sysRet = append(f.sysRet, in.End())
+			g.next = f.cfg.KernelEntry
+			return g
+		case isa.SYSRET:
+			t, ok := f.predictSysret()
+			g.preds[in.End()] = predOut{taken: true, target: t, valid: ok}
+			g.next = t
+			if !ok {
+				g.next = 0
+			}
+			return g
+		}
+		cur = in.End()
+	}
+	g.next = cur
+	return g
+}
+
+func (f *FrontEnd) predictSysret() (uint64, bool) {
+	if n := len(f.sysRet); n > 0 {
+		t := f.sysRet[n-1]
+		f.sysRet = f.sysRet[:n-1]
+		return t, true
+	}
+	return 0, false
+}
+
+// annotate attaches the group's branch predictions to a delivered
+// micro-op.
+func (g *fetchGroup) annotate(u *isa.Uop) {
+	if !u.IsBranch() {
+		return
+	}
+	end := u.MacroAddr + uint64(u.MacroLen)
+	if p, ok := g.preds[end]; ok {
+		u.PredTaken = p.taken
+		if p.valid {
+			u.PredTarget = p.target
+		}
+	}
+}
+
+// groupEnd returns the address one past the last instruction.
+func (g *fetchGroup) groupEnd() uint64 {
+	if len(g.insts) == 0 {
+		return g.entry
+	}
+	last := g.insts[len(g.insts)-1]
+	return last.End()
+}
+
+// Tick advances the fetch engine one cycle, delivering micro-ops into
+// the IDQ.
+func (f *FrontEnd) Tick() {
+	if !f.active || f.serialize {
+		return
+	}
+	if f.stallOther > 0 {
+		f.stallOther--
+		return
+	}
+	if f.stallPen > 0 {
+		f.stallPen--
+		f.ctr.Inc(perfctr.DSBMissPenaltyCycles)
+		return
+	}
+	room := f.cfg.IDQCapacity - len(f.idq)
+	if room <= 0 {
+		return
+	}
+
+	if f.lsdActive {
+		f.tickLSD(room)
+		return
+	}
+	switch f.m {
+	case modeDSB:
+		f.tickDSB(room)
+	case modeMITE:
+		f.tickMITE(room)
+	}
+}
+
+// tickLSD replays the locked loop out of the IDQ, bypassing both the
+// micro-op cache and the decoders. Exit happens when the loop's
+// closing branch resolves against its recorded prediction and the
+// backend redirects fetch.
+func (f *FrontEnd) tickLSD(room int) {
+	n := f.uc.Config().StreamWidth
+	if n > room {
+		n = room
+	}
+	for i := 0; i < n; i++ {
+		f.idq = append(f.idq, f.lsdLoop[f.lsdIdx])
+		f.lsdIdx = (f.lsdIdx + 1) % len(f.lsdLoop)
+	}
+	f.ctr.Add(perfctr.LSDUops, uint64(n))
+}
+
+// lsdCheck looks for a loop ending at entry in the recorded groups and
+// locks it if it fits the LSD. It reports whether the LSD took over.
+func (f *FrontEnd) lsdCheck(entry uint64) bool {
+	if f.cfg.LSDCapacity <= 0 {
+		return false
+	}
+	for i := range f.lsdLog {
+		if f.lsdLog[i].entry != entry {
+			continue
+		}
+		total := 0
+		for _, r := range f.lsdLog[i:] {
+			total += len(r.uops)
+		}
+		if total == 0 || total > f.cfg.LSDCapacity {
+			return false
+		}
+		loop := make([]isa.Uop, 0, total)
+		for _, r := range f.lsdLog[i:] {
+			loop = append(loop, r.uops...)
+		}
+		f.lsdLoop = loop
+		f.lsdIdx = 0
+		f.lsdActive = true
+		return true
+	}
+	return false
+}
+
+// lsdRecord retains a delivered group for loop detection.
+func (f *FrontEnd) lsdRecord(entry uint64, uops []isa.Uop) {
+	if f.cfg.LSDCapacity <= 0 || f.lsdActive {
+		return
+	}
+	const maxLog = 16
+	f.lsdLog = append(f.lsdLog, lsdRec{entry: entry, uops: uops})
+	if len(f.lsdLog) > maxLog {
+		f.lsdLog = f.lsdLog[len(f.lsdLog)-maxLog:]
+	}
+}
+
+// tickDSB pushes pending DSB micro-ops up to the stream width. A
+// group's fetch-control (redirect target, HALT, CPUID serialization)
+// applies only after its last micro-op has been delivered.
+func (f *FrontEnd) tickDSB(room int) {
+	if len(f.pendingUops) == 0 {
+		if g := f.pendingGroup; g != nil {
+			f.pendingGroup = nil
+			f.finishGroup(g)
+			if !f.active || f.serialize {
+				return
+			}
+		}
+		if !f.startFetch() {
+			return
+		}
+	}
+	if len(f.pendingUops) == 0 {
+		return
+	}
+	n := f.uc.Config().StreamWidth
+	if n > room {
+		n = room
+	}
+	if n > len(f.pendingUops) {
+		n = len(f.pendingUops)
+	}
+	f.idq = append(f.idq, f.pendingUops[:n]...)
+	f.ctr.Add(perfctr.DSBUops, uint64(n))
+	f.pendingUops = f.pendingUops[n:]
+	if len(f.pendingUops) == 0 {
+		if g := f.pendingGroup; g != nil {
+			f.pendingGroup = nil
+			f.finishGroup(g)
+		}
+	}
+}
+
+// tickMITE advances the legacy-decode schedule by one cycle.
+func (f *FrontEnd) tickMITE(room int) {
+	if f.plan == nil && !f.startFetch() {
+		return
+	}
+	if f.plan == nil {
+		return
+	}
+	if f.planIdx < len(f.plan.Slots) {
+		slot := f.plan.Slots[f.planIdx]
+		if len(slot) > room {
+			// IDQ backpressure: retry this slot next cycle.
+			return
+		}
+		f.planIdx++
+		if len(slot) == 0 {
+			f.ctr.Inc(perfctr.DSBMissPenaltyCycles)
+			return
+		}
+		for i := range slot {
+			u := slot[i]
+			f.planGroup.annotate(&u)
+			f.idq = append(f.idq, u)
+			f.planDelivered = append(f.planDelivered, u)
+			if u.FromMSROM {
+				f.ctr.Inc(perfctr.MSROMUops)
+			} else {
+				f.ctr.Inc(perfctr.MITEUops)
+			}
+		}
+		if f.planIdx < len(f.plan.Slots) {
+			return
+		}
+	}
+	// Plan complete: fill the micro-op cache with the decoded trace
+	// and finish the group.
+	g := f.planGroup
+	region := f.uc.RegionOf(g.entry)
+	entry := uint8(g.entry - region)
+	t := uopcache.BuildTrace(f.uc.Config(), region, entry, f.plan.Macros)
+	f.uc.Fill(f.thread, t)
+	f.ctr.Add(perfctr.LCPStallCycles, uint64(f.plan.LCPStalls))
+	f.lsdRecord(g.entry, f.planDelivered)
+	f.plan = nil
+	f.planIdx = 0
+	f.planGroup = nil
+	f.planDelivered = nil
+	f.finishGroup(g)
+	// Return to the DSB path; the next fetch probes the cache again.
+	f.m = modeDSB
+}
+
+// finishGroup applies the group's post-delivery fetch control.
+func (f *FrontEnd) finishGroup(g *fetchGroup) {
+	switch {
+	case g.halt:
+		f.active = false
+	case g.serialize:
+		f.serialize = true
+	case g.next == 0 && len(g.preds) > 0:
+		// Unpredicted indirect: stall until backend redirect.
+		f.active = false
+	default:
+		f.pc = g.next
+	}
+}
+
+// startFetch plans the next fetch group and primes either the DSB
+// stream or a MITE plan. It reports whether any work was started.
+func (f *FrontEnd) startFetch() bool {
+	if f.lsdCheck(f.pc) {
+		// The loop stream detector locked a loop ending here: delivery
+		// now bypasses both the µop cache and the decoders.
+		return true
+	}
+	g := f.planFetch(f.pc)
+	if g.fault {
+		// Unmapped fetch target (e.g. wild transient target): stall
+		// until redirected.
+		f.active = false
+		return false
+	}
+	if len(g.insts) == 0 {
+		f.finishGroup(g)
+		return false
+	}
+
+	// Instruction-cache access for the group's bytes. A miss costs the
+	// fill latency up front.
+	lat := f.hier.AccessInst(g.entry)
+	l1iLat := f.hier.Config().L1I.Latency
+	if lat > l1iLat {
+		f.stallOther += lat - l1iLat
+		f.ctr.Inc(perfctr.L1IMisses)
+	}
+
+	if uops, hit := f.uc.Lookup(f.thread, g.entry); hit {
+		if covered := f.coverage(uops); covered >= g.groupEnd() {
+			stream := f.truncateToGroup(uops, g)
+			for i := range stream {
+				g.annotate(&stream[i])
+			}
+			f.lsdRecord(g.entry, stream)
+			f.pendingUops = stream
+			f.pendingGroup = g
+			f.m = modeDSB
+			if len(stream) == 0 {
+				f.pendingGroup = nil
+				f.finishGroup(g)
+			}
+			return true
+		}
+		// Trace exists but does not cover this (longer) fetch group —
+		// e.g. it was built under a different predicted direction.
+		// Treat as a miss and rebuild.
+	}
+
+	// DSB miss: one-cycle switch penalty, then the MITE schedule.
+	f.ctr.Inc(perfctr.DSB2MITESwitches)
+	f.stallPen += f.uc.Config().SwitchPenalty
+	f.plan = decode.PlanRegion(f.cfg.Decode, g.insts)
+	f.planIdx = 0
+	f.planGroup = g
+	f.m = modeMITE
+	return true
+}
+
+// coverage returns the address one past the last macro-op the trace
+// micro-ops cover.
+func (f *FrontEnd) coverage(uops []isa.Uop) uint64 {
+	if len(uops) == 0 {
+		return 0
+	}
+	last := uops[len(uops)-1]
+	return last.MacroAddr + uint64(last.MacroLen)
+}
+
+// truncateToGroup cuts a cached trace down to the fetch group's extent
+// (the group may end early at a predicted-taken branch).
+func (f *FrontEnd) truncateToGroup(uops []isa.Uop, g *fetchGroup) []isa.Uop {
+	end := g.groupEnd()
+	out := make([]isa.Uop, 0, len(uops))
+	for i := range uops {
+		if uops[i].MacroAddr >= end {
+			break
+		}
+		out = append(out, uops[i])
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+package mem
+
+// HierarchyConfig sizes the full cache hierarchy. DefaultHierarchy
+// mirrors the paper's Coffee Lake testbed (i7-8700T): 32 KiB 8-way L1I
+// and L1D, 256 KiB 4-way L2, 12 MiB 16-way shared LLC.
+type HierarchyConfig struct {
+	L1I, L1D, L2, LLC CacheConfig
+	MemLatency        int // DRAM access latency in cycles
+	ITLBEntries       int
+	ITLBWays          int
+	PageSize          int
+}
+
+// DefaultHierarchy returns the Coffee Lake-like configuration.
+func DefaultHierarchy() HierarchyConfig {
+	return HierarchyConfig{
+		L1I:         CacheConfig{Sets: 64, Ways: 8, LineSize: 64, Latency: 4},
+		L1D:         CacheConfig{Sets: 64, Ways: 8, LineSize: 64, Latency: 4},
+		L2:          CacheConfig{Sets: 1024, Ways: 4, LineSize: 64, Latency: 14},
+		LLC:         CacheConfig{Sets: 8192, Ways: 16, LineSize: 64, Latency: 44},
+		MemLatency:  200,
+		ITLBEntries: 128,
+		ITLBWays:    8,
+		PageSize:    4096,
+	}
+}
+
+// HierarchyStats aggregates the counters Table II reads.
+type HierarchyStats struct {
+	L1I, L1D, L2, LLC CacheStats
+	// LLCRefs/LLCMisses mirror the LONGEST_LAT_CACHE.REFERENCE/MISS
+	// events: LLC lookups and fills from DRAM.
+	LLCRefs   uint64
+	LLCMisses uint64
+	ITLB      CacheStats
+}
+
+// Hierarchy is the three-level cache model plus iTLB.
+type Hierarchy struct {
+	cfg HierarchyConfig
+	l1i *Cache
+	l1d *Cache
+	l2  *Cache
+	llc *Cache
+	tlb *Cache
+
+	// onITLBFlush fires when the iTLB is flushed; the micro-op cache
+	// registers a full flush here (SGX-style behaviour from §II-B).
+	onITLBFlush func()
+}
+
+// NewHierarchy builds the hierarchy.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	pageSets := cfg.ITLBEntries / cfg.ITLBWays
+	return &Hierarchy{
+		cfg: cfg,
+		l1i: NewCache("L1I", cfg.L1I),
+		l1d: NewCache("L1D", cfg.L1D),
+		l2:  NewCache("L2", cfg.L2),
+		llc: NewCache("LLC", cfg.LLC),
+		tlb: NewCache("iTLB", CacheConfig{
+			Sets: pageSets, Ways: cfg.ITLBWays,
+			LineSize: cfg.PageSize, Latency: 1,
+		}),
+	}
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
+
+// L1I returns the instruction cache (for hooking inclusion).
+func (h *Hierarchy) L1I() *Cache { return h.l1i }
+
+// L1D returns the data cache.
+func (h *Hierarchy) L1D() *Cache { return h.l1d }
+
+// LLC returns the last-level cache.
+func (h *Hierarchy) LLC() *Cache { return h.llc }
+
+// SetITLBFlushHook installs fn to run on every full iTLB flush.
+func (h *Hierarchy) SetITLBFlushHook(fn func()) { h.onITLBFlush = fn }
+
+// Stats returns all counters.
+func (h *Hierarchy) Stats() HierarchyStats {
+	return HierarchyStats{
+		L1I:       h.l1i.Stats(),
+		L1D:       h.l1d.Stats(),
+		L2:        h.l2.Stats(),
+		LLC:       h.llc.Stats(),
+		LLCRefs:   h.llc.Stats().Accesses,
+		LLCMisses: h.llc.Stats().Misses,
+		ITLB:      h.tlb.Stats(),
+	}
+}
+
+// AccessData performs a data access at addr and returns its latency in
+// cycles, filling every missing level on the way.
+func (h *Hierarchy) AccessData(addr uint64) int {
+	if h.l1d.Access(addr) {
+		return h.cfg.L1D.Latency
+	}
+	if h.l2.Access(addr) {
+		return h.cfg.L2.Latency
+	}
+	if h.llc.Access(addr) {
+		return h.cfg.LLC.Latency
+	}
+	return h.cfg.MemLatency
+}
+
+// AccessInst performs an instruction-fetch access at addr (iTLB + L1I +
+// lower levels) and returns its latency in cycles.
+func (h *Hierarchy) AccessInst(addr uint64) int {
+	lat := 0
+	if !h.tlb.Access(addr) {
+		lat += 20 // page-walk cost
+	}
+	if h.l1i.Access(addr) {
+		return lat + h.cfg.L1I.Latency
+	}
+	if h.l2.Access(addr) {
+		return lat + h.cfg.L2.Latency
+	}
+	if h.llc.Access(addr) {
+		return lat + h.cfg.LLC.Latency
+	}
+	return lat + h.cfg.MemLatency
+}
+
+// PeekDataLatency returns the latency a data access at addr would see
+// right now, without filling or touching recency at any level — the
+// invisible-speculation read path.
+func (h *Hierarchy) PeekDataLatency(addr uint64) int {
+	switch {
+	case h.l1d.Contains(addr):
+		return h.cfg.L1D.Latency
+	case h.l2.Contains(addr):
+		return h.cfg.L2.Latency
+	case h.llc.Contains(addr):
+		return h.cfg.LLC.Latency
+	default:
+		return h.cfg.MemLatency
+	}
+}
+
+// InstCached reports whether the instruction line holding addr is in
+// the L1I, without perturbing state.
+func (h *Hierarchy) InstCached(addr uint64) bool { return h.l1i.Contains(addr) }
+
+// DataCached reports the lowest level holding addr: 1, 2, 3, or 0 when
+// only DRAM has it. It does not perturb state.
+func (h *Hierarchy) DataCached(addr uint64) int {
+	switch {
+	case h.l1d.Contains(addr):
+		return 1
+	case h.l2.Contains(addr):
+		return 2
+	case h.llc.Contains(addr):
+		return 3
+	default:
+		return 0
+	}
+}
+
+// Flush evicts the data line containing addr from every level
+// (clflush). Instruction-side lines are untouched, as on real hardware
+// where clflush works on the unified levels; the L1I copy is
+// invalidated through LLC inclusion.
+func (h *Hierarchy) Flush(addr uint64) {
+	h.l1d.Invalidate(addr)
+	h.l1i.Invalidate(addr)
+	h.l2.Invalidate(addr)
+	h.llc.Invalidate(addr)
+}
+
+// FlushITLB empties the iTLB and fires the inclusion hook (full
+// micro-op cache flush).
+func (h *Hierarchy) FlushITLB() {
+	h.tlb.InvalidateAll()
+	if h.onITLBFlush != nil {
+		h.onITLBFlush()
+	}
+}

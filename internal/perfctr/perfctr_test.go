@@ -1,0 +1,75 @@
+package perfctr
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCountersAddGet(t *testing.T) {
+	var c Counters
+	c.Add(Cycles, 100)
+	c.Inc(Cycles)
+	c.Inc(DSBUops)
+	if got := c.Get(Cycles); got != 101 {
+		t.Errorf("cycles = %d", got)
+	}
+	if got := c.Get(DSBUops); got != 1 {
+		t.Errorf("dsb = %d", got)
+	}
+	if got := c.Get(MITEUops); got != 0 {
+		t.Errorf("mite = %d", got)
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	var c Counters
+	c.Add(Instructions, 10)
+	before := c.Snapshot()
+	c.Add(Instructions, 5)
+	c.Add(LLCMisses, 3)
+	d := c.Snapshot().Delta(before)
+	if d.Get(Instructions) != 5 || d.Get(LLCMisses) != 3 {
+		t.Errorf("delta %v", d)
+	}
+	// Snapshots are immutable copies.
+	c.Add(Instructions, 100)
+	if before.Get(Instructions) != 10 {
+		t.Error("snapshot mutated")
+	}
+}
+
+func TestReset(t *testing.T) {
+	var c Counters
+	c.Add(Squashes, 7)
+	c.Reset()
+	if c.Get(Squashes) != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestEventNames(t *testing.T) {
+	// Every defined event must have a non-placeholder name (they mirror
+	// Intel's counter mnemonics).
+	for e := Event(0); e < NumEvents; e++ {
+		name := e.String()
+		if name == "" || strings.HasPrefix(name, "event(") {
+			t.Errorf("event %d has no name", e)
+		}
+	}
+	if got := Event(999).String(); got != "event(999)" {
+		t.Errorf("unknown event name %q", got)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	var c Counters
+	c.Add(DSBUops, 42)
+	s := c.Snapshot().String()
+	if !strings.Contains(s, "idq.dsb_uops=42") {
+		t.Errorf("snapshot string %q", s)
+	}
+	var empty Counters
+	if empty.Snapshot().String() != "" {
+		t.Error("empty snapshot renders nonempty")
+	}
+}

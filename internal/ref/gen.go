@@ -1,0 +1,173 @@
+package ref
+
+import (
+	"fmt"
+
+	"deaduops/internal/asm"
+	"deaduops/internal/isa"
+)
+
+// GenConfig shapes random program generation for differential testing.
+type GenConfig struct {
+	// Blocks is the number of straight-line blocks in the main body.
+	Blocks int
+	// OpsPerBlock is the number of instructions per block.
+	OpsPerBlock int
+	// ScratchBase/ScratchSize bound all generated memory accesses.
+	ScratchBase uint64
+	ScratchSize uint64
+	// KernelEntry places the generated kernel routine (for SYSCALL).
+	KernelEntry uint64
+	// CodeBase places the program.
+	CodeBase uint64
+}
+
+// DefaultGenConfig returns a medium-sized workload.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		Blocks:      6,
+		OpsPerBlock: 10,
+		ScratchBase: 0x8000,
+		ScratchSize: 0x400,
+		KernelEntry: 0x40_0000,
+		CodeBase:    0x10000,
+	}
+}
+
+// rng is a splitmix64 generator, deterministic across platforms.
+type rng struct{ x uint64 }
+
+func (r *rng) next() uint64 {
+	r.x += 0x9E3779B97F4A7C15
+	z := r.x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// genRegs are the registers the generator mutates freely; R11 stays a
+// scratch-window base, R12/R13 are loop counters, R14 is the host's
+// loop-count convention, R15 the stack pointer.
+var genRegs = []isa.Reg{isa.R0, isa.R1, isa.R2, isa.R3, isa.R4, isa.R5,
+	isa.R6, isa.R7, isa.R8, isa.R9, isa.R10}
+
+// Generate builds a deterministic random program from seed: straight-
+// line ALU blocks, forward branches, bounded loops, scratch-window
+// loads/stores, calls to generated leaf functions, and a syscall to a
+// generated kernel routine. The program always terminates.
+func Generate(seed uint64, cfg GenConfig) (*asm.Program, error) {
+	r := &rng{x: seed}
+	b := asm.New(cfg.CodeBase)
+	b.Label("entry")
+
+	// Leaf functions are referenced by calls; declare names first.
+	nFuncs := 1 + r.intn(2)
+
+	reg := func() isa.Reg { return genRegs[r.intn(len(genRegs))] }
+	cond := func() isa.Cond {
+		return []isa.Cond{isa.EQ, isa.NE, isa.LT, isa.GE, isa.GT, isa.LE, isa.B, isa.AE}[r.intn(8)]
+	}
+
+	// emitOp emits one random non-control instruction.
+	emitOp := func() {
+		switch r.intn(12) {
+		case 0:
+			b.Movi(reg(), int64(r.intn(2048)-1024))
+		case 1:
+			b.Movi64(reg(), int64(r.next()))
+		case 2:
+			b.Mov(reg(), reg())
+		case 3:
+			b.Add(reg(), reg())
+		case 4:
+			b.Subi(reg(), int64(r.intn(64)))
+		case 5:
+			b.Xor(reg(), reg())
+		case 6:
+			b.Andi(reg(), int64(r.intn(1024)))
+		case 7:
+			b.Shli(reg(), int64(r.intn(8)))
+		case 8:
+			b.Shri(reg(), int64(r.intn(8)))
+		case 9:
+			// Aligned in-window store: addr = (reg & mask) + base.
+			a, v := reg(), reg()
+			b.Mov(isa.R11, a)
+			b.Andi(isa.R11, int64(cfg.ScratchSize-8))
+			b.Andi(isa.R11, ^int64(7))
+			b.Store(isa.R11, int64(cfg.ScratchBase), v)
+		case 10:
+			a, d := reg(), reg()
+			b.Mov(isa.R11, a)
+			b.Andi(isa.R11, int64(cfg.ScratchSize-8))
+			b.Andi(isa.R11, ^int64(7))
+			b.Load(d, isa.R11, int64(cfg.ScratchBase))
+		case 11:
+			b.Or(reg(), reg())
+		}
+	}
+
+	for blk := 0; blk < cfg.Blocks; blk++ {
+		for op := 0; op < cfg.OpsPerBlock; op++ {
+			emitOp()
+		}
+		switch r.intn(4) {
+		case 0:
+			// Forward conditional skip.
+			skip := fmt.Sprintf("skip_%d", blk)
+			b.Cmpi(reg(), int64(r.intn(64)))
+			b.Jcc(cond(), skip)
+			for i := 0; i < 1+r.intn(3); i++ {
+				emitOp()
+			}
+			b.Label(skip)
+		case 1:
+			// Bounded loop on a dedicated counter.
+			loop := fmt.Sprintf("loop_%d", blk)
+			b.Movi(isa.R12, int64(2+r.intn(5)))
+			b.Label(loop)
+			for i := 0; i < 1+r.intn(3); i++ {
+				emitOp()
+			}
+			b.Subi(isa.R12, 1)
+			b.Cmpi(isa.R12, 0)
+			b.Jcc(isa.NE, loop)
+		case 2:
+			b.Call(fmt.Sprintf("fn_%d", r.intn(nFuncs)))
+		case 3:
+			b.Syscall()
+		}
+	}
+	b.Halt()
+
+	// Leaf functions: ALU-only bodies.
+	for f := 0; f < nFuncs; f++ {
+		b.Align(64)
+		b.Label(fmt.Sprintf("fn_%d", f))
+		for i := 0; i < 2+r.intn(5); i++ {
+			switch r.intn(4) {
+			case 0:
+				b.Addi(reg(), int64(r.intn(100)))
+			case 1:
+				b.Xor(reg(), reg())
+			case 2:
+				b.Shri(reg(), int64(r.intn(4)))
+			case 3:
+				b.Mov(reg(), reg())
+			}
+		}
+		b.Ret()
+	}
+
+	// Kernel routine.
+	b.Org(cfg.KernelEntry)
+	b.Label("kernel")
+	for i := 0; i < 2+r.intn(4); i++ {
+		b.Addi(reg(), int64(r.intn(16)))
+	}
+	b.Sysret()
+
+	return b.Build()
+}

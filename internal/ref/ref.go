@@ -1,0 +1,181 @@
+// Package ref is a golden-reference interpreter for SX86: a simple
+// sequential, in-order, non-speculative executor of the architectural
+// semantics. It exists to validate the pipelined core by differential
+// testing — any program must leave identical architectural state
+// (registers, memory, privilege) on both engines, regardless of how
+// the pipeline speculated, squashed, or reordered internally.
+package ref
+
+import (
+	"fmt"
+
+	"deaduops/internal/asm"
+	"deaduops/internal/isa"
+)
+
+// Memory is the guest memory interface (satisfied by cpu.Memory).
+type Memory interface {
+	Read(addr uint64, size int) int64
+	Write(addr uint64, size int, v int64)
+}
+
+// Machine is the architectural state of the reference interpreter.
+type Machine struct {
+	Regs  [isa.NumRegs]int64
+	Flags isa.Flags
+	// KernelMode tracks the privilege level; KernelEntry is the
+	// SYSCALL target.
+	KernelMode  bool
+	KernelEntry uint64
+
+	prog   *asm.Program
+	mem    Memory
+	sysRet []uint64
+	halted bool
+	// Steps counts executed macro-ops.
+	Steps uint64
+}
+
+// New builds a reference machine over a program and memory image.
+func New(prog *asm.Program, mem Memory, kernelEntry uint64) *Machine {
+	return &Machine{prog: prog, mem: mem, KernelEntry: kernelEntry}
+}
+
+// Halted reports whether HALT executed.
+func (m *Machine) Halted() bool { return m.halted }
+
+// Run executes from entry until HALT or maxSteps macro-ops. It returns
+// an error on an unmapped fetch or step exhaustion — both indicate a
+// malformed program rather than an interpreter condition.
+func (m *Machine) Run(entry uint64, maxSteps uint64) error {
+	pc := entry
+	m.halted = false
+	for !m.halted {
+		if m.Steps >= maxSteps {
+			return fmt.Errorf("ref: step limit %d reached at pc %#x", maxSteps, pc)
+		}
+		in := m.prog.At(pc)
+		if in == nil {
+			return fmt.Errorf("ref: unmapped fetch at %#x", pc)
+		}
+		next, err := m.step(in)
+		if err != nil {
+			return err
+		}
+		m.Steps++
+		pc = next
+	}
+	return nil
+}
+
+// step executes one macro-op and returns the next PC.
+func (m *Machine) step(in *isa.Inst) (uint64, error) {
+	next := in.End()
+	rhs := func() int64 {
+		if in.HasImm {
+			return in.Imm
+		}
+		return m.Regs[in.Src]
+	}
+	setZS := func(v int64) {
+		m.Flags.Zero = v == 0
+		m.Flags.Sign = v < 0
+		m.Flags.Carry = false
+	}
+	switch in.Op {
+	case isa.NOP, isa.CLFLUSH, isa.LFENCE, isa.CPUID, isa.PAUSE,
+		isa.MSROMOP, isa.ITLBFLUSH:
+		// No architectural effect.
+	case isa.MOVI:
+		m.Regs[in.Dst] = in.Imm
+	case isa.MOV:
+		m.Regs[in.Dst] = m.Regs[in.Src]
+	case isa.ADD:
+		v := m.Regs[in.Dst] + rhs()
+		m.Regs[in.Dst] = v
+		setZS(v)
+	case isa.SUB:
+		a, b := m.Regs[in.Dst], rhs()
+		v := a - b
+		m.Regs[in.Dst] = v
+		setZS(v)
+		m.Flags.Carry = uint64(a) < uint64(b)
+	case isa.AND:
+		v := m.Regs[in.Dst] & rhs()
+		m.Regs[in.Dst] = v
+		setZS(v)
+	case isa.OR:
+		v := m.Regs[in.Dst] | rhs()
+		m.Regs[in.Dst] = v
+		setZS(v)
+	case isa.XOR:
+		v := m.Regs[in.Dst] ^ rhs()
+		m.Regs[in.Dst] = v
+		setZS(v)
+	case isa.SHL:
+		v := m.Regs[in.Dst] << (uint64(rhs()) & 63)
+		m.Regs[in.Dst] = v
+		setZS(v)
+	case isa.SHR:
+		v := int64(uint64(m.Regs[in.Dst]) >> (uint64(rhs()) & 63))
+		m.Regs[in.Dst] = v
+		setZS(v)
+	case isa.CMP:
+		a, b := m.Regs[in.Dst], rhs()
+		v := a - b
+		setZS(v)
+		m.Flags.Carry = uint64(a) < uint64(b)
+	case isa.TEST:
+		setZS(m.Regs[in.Dst] & rhs())
+	case isa.JMP:
+		next = uint64(in.Imm)
+	case isa.JCC:
+		if in.Cond.Eval(m.Flags) {
+			next = uint64(in.Imm)
+		}
+	case isa.JMPI:
+		next = uint64(m.Regs[in.Dst])
+	case isa.CALL, isa.CALLI:
+		sp := m.Regs[isa.R15] - 8
+		m.Regs[isa.R15] = sp
+		m.mem.Write(uint64(sp), 8, int64(in.End()))
+		if in.Op == isa.CALL {
+			next = uint64(in.Imm)
+		} else {
+			next = uint64(m.Regs[in.Dst])
+		}
+	case isa.RET:
+		sp := m.Regs[isa.R15]
+		next = uint64(m.mem.Read(uint64(sp), 8))
+		m.Regs[isa.R15] = sp + 8
+	case isa.LOAD:
+		m.Regs[in.Dst] = m.mem.Read(uint64(m.Regs[in.Src]+in.Imm), 8)
+	case isa.LOADB:
+		m.Regs[in.Dst] = m.mem.Read(uint64(m.Regs[in.Src]+in.Imm), 1)
+	case isa.STORE:
+		m.mem.Write(uint64(m.Regs[in.Src]+in.Imm), 8, m.Regs[in.Dst])
+	case isa.STOREB:
+		m.mem.Write(uint64(m.Regs[in.Src]+in.Imm), 1, m.Regs[in.Dst])
+	case isa.RDTSC:
+		// The reference machine has no cycle clock; differential tests
+		// exclude RDTSC (its value is timing-dependent by design).
+		m.Regs[in.Dst] = int64(m.Steps)
+	case isa.SYSCALL:
+		m.sysRet = append(m.sysRet, in.End())
+		m.KernelMode = true
+		next = m.KernelEntry
+	case isa.SYSRET:
+		m.KernelMode = false
+		if n := len(m.sysRet); n > 0 {
+			next = m.sysRet[n-1]
+			m.sysRet = m.sysRet[:n-1]
+		} else {
+			next = 0
+		}
+	case isa.HALT:
+		m.halted = true
+	default:
+		return 0, fmt.Errorf("ref: unimplemented op %v at %#x", in.Op, in.Addr)
+	}
+	return next, nil
+}

@@ -1,0 +1,69 @@
+// Package trace renders a per-cycle view of a run: retired macro-ops
+// annotated with their delivery source (micro-op cache vs legacy
+// decode), squash events, and periodic counter summaries. It is a
+// debugging aid for attack development — the micro-op cache's
+// hit/miss rhythm is directly visible in the source column.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"deaduops/internal/cpu"
+	"deaduops/internal/isa"
+	"deaduops/internal/perfctr"
+)
+
+// Tracer attaches to a CPU's thread-0 backend and writes a text log.
+type Tracer struct {
+	w    io.Writer
+	c    *cpu.CPU
+	last perfctr.Snapshot
+
+	// Retired counts macro-ops seen; Squashes counts flushes.
+	Retired  uint64
+	Squashes uint64
+}
+
+// Attach installs the tracer on thread 0. Call Detach when done; only
+// one tracer may be attached at a time.
+func Attach(c *cpu.CPU, w io.Writer) *Tracer {
+	t := &Tracer{w: w, c: c, last: c.Counters(0).Snapshot()}
+	be := c.Backend(0)
+	be.OnRetire = t.onRetire
+	be.OnSquash = t.onSquash
+	return t
+}
+
+// Detach removes the tracer's hooks.
+func (t *Tracer) Detach() {
+	be := t.c.Backend(0)
+	be.OnRetire = nil
+	be.OnSquash = nil
+}
+
+func (t *Tracer) onRetire(cycle uint64, u isa.Uop) {
+	// Only log once per macro-op (its last micro-op).
+	if u.Index != u.Count-1 {
+		return
+	}
+	t.Retired++
+	if u.Fused {
+		t.Retired++
+	}
+	now := t.c.Counters(0).Snapshot()
+	d := now.Delta(t.last)
+	t.last = now
+	src := "dsb "
+	if d.Get(perfctr.MITEUops) > 0 {
+		src = "mite"
+	} else if d.Get(perfctr.LSDUops) > 0 {
+		src = "lsd "
+	}
+	fmt.Fprintf(t.w, "%8d  %s  %#8x  %v\n", cycle, src, u.MacroAddr, u.Op)
+}
+
+func (t *Tracer) onSquash(cycle uint64, target uint64) {
+	t.Squashes++
+	fmt.Fprintf(t.w, "%8d  ----  squash → %#x\n", cycle, target)
+}

@@ -1,0 +1,53 @@
+package transient_test
+
+import (
+	"fmt"
+
+	"deaduops/internal/cpu"
+	"deaduops/internal/transient"
+	"deaduops/internal/victim"
+)
+
+// Example leaks a victim library's secret through the micro-op cache
+// after transiently bypassing its bounds check (the paper's variant 1).
+func Example() {
+	c := cpu.New(cpu.Intel())
+	v, err := transient.NewVariant1(c)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	v.WriteSecret([]byte("k3y"))
+	leaked, _, err := v.Leak(3)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%s\n", leaked)
+	// Output:
+	// k3y
+}
+
+// ExampleVariant2 leaks a secret bit through an LFENCE: the transmitter
+// is fetched at its predicted target before it can ever be dispatched.
+func ExampleVariant2() {
+	c := cpu.New(cpu.Intel())
+	v, err := transient.NewVariant2(c, victim.WithLFENCE)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := v.Calibrate(4); err != nil {
+		fmt.Println(err)
+		return
+	}
+	v.WriteSecret(1)
+	bit, err := v.LeakBit()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("secret bit:", bit)
+	// Output:
+	// secret bit: true
+}

@@ -1,0 +1,47 @@
+package transient
+
+import (
+	"deaduops/internal/cpu"
+	"deaduops/internal/mem"
+	"deaduops/internal/perfctr"
+)
+
+// Stats aggregates the Table II measurements across an attack: elapsed
+// simulated time, LLC traffic, and micro-op cache miss penalty.
+type Stats struct {
+	Bits   int
+	Bytes  int
+	Cycles uint64
+
+	LLCRefs        uint64
+	LLCMisses      uint64
+	UopMissPenalty uint64
+	DSBUops        uint64
+	MITEUops       uint64
+
+	startCycle uint64
+	startCtr   perfctr.Snapshot
+	startHier  mem.HierarchyStats
+}
+
+func (s *Stats) begin(c *cpu.CPU) {
+	s.startCycle = c.Cycle()
+	s.startCtr = c.Counters(0).Snapshot()
+	s.startHier = c.Hierarchy().Stats()
+}
+
+func (s *Stats) end(c *cpu.CPU) {
+	s.Cycles = c.Cycle() - s.startCycle
+	d := c.Counters(0).Snapshot().Delta(s.startCtr)
+	h := c.Hierarchy().Stats()
+	s.LLCRefs = h.LLCRefs - s.startHier.LLCRefs
+	s.LLCMisses = h.LLCMisses - s.startHier.LLCMisses
+	s.UopMissPenalty = d.Get(perfctr.DSBMissPenaltyCycles)
+	s.DSBUops = d.Get(perfctr.DSBUops)
+	s.MITEUops = d.Get(perfctr.MITEUops)
+}
+
+// Seconds converts the elapsed cycles to wall-clock at clockGHz.
+func (s Stats) Seconds(clockGHz float64) float64 {
+	return float64(s.Cycles) / (clockGHz * 1e9)
+}

@@ -1,0 +1,469 @@
+// Package uopcache models the micro-op cache (Intel's DSB, AMD's op
+// cache) characterized in §II-III of the paper: a streaming,
+// set-associative cache of decoded micro-ops indexed by bits 5-9 of the
+// macro-op virtual address, governed by the placement rules the paper
+// documents and the hotness-based replacement and SMT
+// partitioning/sharing policies it reverse-engineers.
+package uopcache
+
+import (
+	"fmt"
+
+	"deaduops/internal/isa"
+)
+
+// SMTPolicy selects how two hardware threads share the structure.
+type SMTPolicy int
+
+const (
+	// PartitionStatic is the Intel policy: in SMT mode each thread sees
+	// a statically assigned half of the cache, organized as Sets/2
+	// fully associative-width sets (Fig 7: 16 sets of 8 ways each).
+	PartitionStatic SMTPolicy = iota
+	// ShareCompetitive is the AMD Zen policy: both threads compete for
+	// all lines; one thread's fills evict the other's lines (§V-B).
+	ShareCompetitive
+)
+
+// String implements fmt.Stringer.
+func (p SMTPolicy) String() string {
+	switch p {
+	case PartitionStatic:
+		return "static-partition"
+	case ShareCompetitive:
+		return "competitive"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Config sizes and parameterizes the micro-op cache.
+type Config struct {
+	Sets         int // number of sets (power of two)
+	Ways         int // lines per set
+	SlotsPerLine int // micro-op slots per line (6 on Skylake)
+	// MaxLinesPerRegion caps how many ways one 32-byte code region may
+	// occupy (3 on Skylake; an 18-µop region is the largest cacheable).
+	MaxLinesPerRegion int
+	// IndexLoBit is the lowest address bit of the set index; regions
+	// are 1<<IndexLoBit bytes (bit 5 → 32-byte regions).
+	IndexLoBit uint
+	// MaxBranchesPerLine caps branch micro-ops per line (2 on Skylake).
+	MaxBranchesPerLine int
+	// HotnessMax saturates the per-line hotness counter. A small cap
+	// (a few bits, as a real implementation would afford) bounds how
+	// long a once-hot line can resist eviction pressure.
+	HotnessMax int
+	// SMT selects the sharing policy when two threads are active.
+	SMT SMTPolicy
+	// PrivilegePartition statically partitions the cache between user
+	// and kernel domains (a §VIII candidate mitigation): each domain
+	// sees half the sets, so kernel execution cannot evict user lines.
+	PrivilegePartition bool
+	// SwitchPenalty is the DSB→MITE switch cost in cycles (1 on
+	// Skylake).
+	SwitchPenalty int
+	// StreamWidth is the per-cycle µop delivery bandwidth on a hit
+	// (6 on Skylake).
+	StreamWidth int
+}
+
+// Skylake returns the Intel Skylake/Coffee Lake configuration the paper
+// characterizes: 32 sets × 8 ways × 6 µops = 1536 µops, statically
+// partitioned under SMT.
+func Skylake() Config {
+	return Config{
+		Sets: 32, Ways: 8, SlotsPerLine: 6,
+		MaxLinesPerRegion: 3, IndexLoBit: 5,
+		MaxBranchesPerLine: 2, HotnessMax: 8,
+		SMT: PartitionStatic, SwitchPenalty: 1, StreamWidth: 6,
+	}
+}
+
+// SunnyCove returns the Intel Sunny Cove-like configuration: the paper
+// notes the micro-op cache grew 1.5× over Skylake (2304 µops, modelled
+// as 12 ways).
+func SunnyCove() Config {
+	c := Skylake()
+	c.Ways = 12
+	return c
+}
+
+// Zen returns an AMD Zen-like configuration: 2K µops, competitively
+// shared between SMT threads.
+func Zen() Config {
+	return Config{
+		Sets: 32, Ways: 8, SlotsPerLine: 8,
+		MaxLinesPerRegion: 3, IndexLoBit: 5,
+		MaxBranchesPerLine: 2, HotnessMax: 8,
+		SMT: ShareCompetitive, SwitchPenalty: 1, StreamWidth: 8,
+	}
+}
+
+// Zen2 returns an AMD Zen-2-like configuration: the paper notes Zen-2
+// op caches hold as many as 4K µops (64 sets here, index bits 5-10).
+func Zen2() Config {
+	c := Zen()
+	c.Sets = 64
+	return c
+}
+
+// RegionSize returns the code-region granularity in bytes.
+func (c Config) RegionSize() uint64 { return 1 << c.IndexLoBit }
+
+// Capacity returns the total micro-op slot capacity.
+func (c Config) Capacity() int { return c.Sets * c.Ways * c.SlotsPerLine }
+
+func (c Config) validate() error {
+	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("uopcache: sets %d not a positive power of two", c.Sets)
+	}
+	if c.Ways <= 0 || c.SlotsPerLine <= 0 || c.MaxLinesPerRegion <= 0 {
+		return fmt.Errorf("uopcache: non-positive geometry %+v", c)
+	}
+	if c.MaxLinesPerRegion > c.Ways {
+		return fmt.Errorf("uopcache: MaxLinesPerRegion %d exceeds ways %d", c.MaxLinesPerRegion, c.Ways)
+	}
+	return nil
+}
+
+// Stats counts micro-op cache events; the characterization experiments
+// read these as their performance-counter analogues.
+type Stats struct {
+	Lookups       uint64
+	Hits          uint64
+	Misses        uint64
+	StreamedUops  uint64 // µops delivered from the cache (IDQ.DSB_UOPS)
+	Fills         uint64 // lines installed
+	FillFailures  uint64 // fill attempts rejected by hotness protection
+	Evictions     uint64
+	Uncacheable   uint64 // regions rejected by placement rules
+	FlushAll      uint64
+	Invalidations uint64 // lines dropped by L1I/iTLB inclusion
+}
+
+// line is one cached way.
+type line struct {
+	valid   bool
+	thread  int
+	region  uint64 // region base address
+	entry   uint8  // entry offset within the region
+	seq     uint8  // line index within the trace
+	total   uint8  // number of lines in the trace
+	uops    []isa.Uop
+	slots   int
+	hotness int
+}
+
+// Cache is the micro-op cache.
+type Cache struct {
+	cfg  Config
+	sets [][]line
+	// domain is each hardware thread's current privilege domain
+	// (0 = user, 1 = kernel), consulted when PrivilegePartition is on.
+	domain [2]int
+	// victimPtr is each set's round-robin replacement pointer: fill
+	// pressure rotates across ways, wearing every resident down
+	// uniformly, so a loop that out-accesses a resident loop displaces
+	// it — and one that doesn't, doesn't (Fig 5).
+	victimPtr []int
+	smtMode   bool
+	stats     Stats
+	setShift  uint
+}
+
+// New builds a micro-op cache. It panics on an invalid configuration.
+func New(cfg Config) *Cache {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	c := &Cache{
+		cfg:       cfg,
+		sets:      make([][]line, cfg.Sets),
+		victimPtr: make([]int, cfg.Sets),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	for v := cfg.Sets; v > 1; v >>= 1 {
+		c.setShift++
+	}
+	return c
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// SetSMTMode switches between single-thread and SMT operation. Under
+// Intel's static partitioning this changes the visible geometry; the
+// cache is flushed on a mode change, as the physical set mapping moves.
+func (c *Cache) SetSMTMode(on bool) {
+	if c.smtMode == on {
+		return
+	}
+	c.smtMode = on
+	c.flushAllInternal()
+}
+
+// SMTMode reports whether SMT mode is active.
+func (c *Cache) SMTMode() bool { return c.smtMode }
+
+// RegionOf returns the region base address containing addr.
+func (c *Cache) RegionOf(addr uint64) uint64 {
+	return addr &^ (c.cfg.RegionSize() - 1)
+}
+
+// setIndex maps (thread, region) to a physical set. In Intel SMT mode
+// each thread owns a bank of Sets/2 sets indexed by one fewer address
+// bit — the "16 8-way sets per thread" organization of Fig 7. With the
+// privilege-partition mitigation enabled, the current privilege domain
+// selects the bank instead.
+func (c *Cache) setIndex(thread int, region uint64) int {
+	idx := int(region>>c.cfg.IndexLoBit) & (c.cfg.Sets - 1)
+	half := c.cfg.Sets / 2
+	if c.cfg.PrivilegePartition {
+		return (c.domain[thread&1]&1)*half + idx%half
+	}
+	if c.smtMode && c.cfg.SMT == PartitionStatic {
+		return (thread&1)*half + idx%half
+	}
+	return idx
+}
+
+// SetDomain records thread's current privilege domain (0 = user,
+// 1 = kernel) for the privilege-partition mitigation.
+func (c *Cache) SetDomain(thread, domain int) {
+	c.domain[thread&1] = domain
+}
+
+// VisibleSets returns how many sets one thread can reach right now.
+func (c *Cache) VisibleSets(thread int) int {
+	if c.cfg.PrivilegePartition || (c.smtMode && c.cfg.SMT == PartitionStatic) {
+		return c.cfg.Sets / 2
+	}
+	return c.cfg.Sets
+}
+
+// matches reports whether l is the seq-th line of the trace (thread,
+// region, entry). Under competitive sharing lines are thread-tagged, so
+// a lookup only hits its own thread's lines, but capacity is shared.
+func (c *Cache) matches(l *line, thread int, region uint64, entry uint8) bool {
+	return l.valid && l.region == region && l.entry == entry && l.thread == thread
+}
+
+// Lookup streams the trace for the code at addr for the given hardware
+// thread. On a hit it returns the trace's micro-ops in order and bumps
+// line hotness. On a miss it returns nil.
+func (c *Cache) Lookup(thread int, addr uint64) ([]isa.Uop, bool) {
+	region := c.RegionOf(addr)
+	entry := uint8(addr - region)
+	set := c.sets[c.setIndex(thread, region)]
+	c.stats.Lookups++
+
+	var found [8]*line
+	var total int = -1
+	n := 0
+	for i := range set {
+		l := &set[i]
+		if c.matches(l, thread, region, entry) {
+			if int(l.seq) < len(found) && found[l.seq] == nil {
+				found[l.seq] = l
+				n++
+			}
+			total = int(l.total)
+		}
+	}
+	if total < 0 || n != total {
+		c.stats.Misses++
+		return nil, false
+	}
+	var uops []isa.Uop
+	for s := 0; s < total; s++ {
+		l := found[s]
+		if l == nil {
+			c.stats.Misses++
+			return nil, false
+		}
+		if l.hotness < c.cfg.HotnessMax {
+			l.hotness++
+		}
+		uops = append(uops, l.uops...)
+	}
+	c.stats.Hits++
+	c.stats.StreamedUops += uint64(len(uops))
+	return uops, true
+}
+
+// Present reports whether the trace for addr is fully cached, without
+// perturbing hotness or statistics.
+func (c *Cache) Present(thread int, addr uint64) bool {
+	region := c.RegionOf(addr)
+	entry := uint8(addr - region)
+	set := c.sets[c.setIndex(thread, region)]
+	have := 0
+	total := -1
+	for i := range set {
+		l := &set[i]
+		if c.matches(l, thread, region, entry) {
+			have++
+			total = int(l.total)
+		}
+	}
+	return total >= 0 && have == total
+}
+
+// Fill attempts to install a built trace. The hotness replacement
+// policy may refuse: a fill that would displace a line whose hotness
+// has not been worn to zero instead decrements the victim and fails,
+// so a cold evictor must out-access a hot resident before displacing
+// it — the Fig 5 behaviour.
+func (c *Cache) Fill(thread int, t *Trace) {
+	if t == nil || !t.Cacheable {
+		c.stats.Uncacheable++
+		return
+	}
+	setIdx := c.setIndex(thread, t.Region)
+	set := c.sets[setIdx]
+
+	// Drop any stale partial trace for this (thread, region, entry).
+	for i := range set {
+		l := &set[i]
+		if c.matches(l, thread, t.Region, t.Entry) {
+			l.valid = false
+			c.stats.Invalidations++
+		}
+	}
+
+	for seq, lu := range t.Lines {
+		victim := -1
+		for i := range set {
+			if !set[i].valid {
+				victim = i
+				break
+			}
+		}
+		if victim < 0 {
+			// All ways valid: attack the way under the rotating
+			// pointer. A hot resident absorbs the attempt (hotness
+			// decremented) and the fill fails; a worn-out resident is
+			// displaced.
+			p := c.victimPtr[setIdx]
+			c.victimPtr[setIdx] = (p + 1) % c.cfg.Ways
+			v := &set[p]
+			if v.hotness > 0 {
+				v.hotness--
+				c.stats.FillFailures++
+				return
+			}
+			v.valid = false
+			c.stats.Evictions++
+			victim = p
+		}
+		v := &set[victim]
+		*v = line{
+			valid:   true,
+			thread:  thread,
+			region:  t.Region,
+			entry:   t.Entry,
+			seq:     uint8(seq),
+			total:   uint8(len(t.Lines)),
+			uops:    lu.Uops,
+			slots:   lu.Slots,
+			hotness: 1,
+		}
+		c.stats.Fills++
+	}
+}
+
+// InvalidateCodeLine drops every trace whose region falls inside the
+// 64-byte instruction-cache line at lineAddr — the inclusion property:
+// an L1I eviction forces the corresponding micro-op cache lines out.
+func (c *Cache) InvalidateCodeLine(lineAddr uint64, lineSize uint64) {
+	start := lineAddr &^ (lineSize - 1)
+	end := start + lineSize
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			l := &c.sets[s][i]
+			if l.valid && l.region >= start && l.region < end {
+				l.valid = false
+				c.stats.Invalidations++
+			}
+		}
+	}
+}
+
+// FlushAll empties the cache (iTLB-flush inclusion, SGX enclave
+// entry/exit, privilege-partitioning mitigations).
+func (c *Cache) FlushAll() {
+	c.stats.FlushAll++
+	c.flushAllInternal()
+}
+
+func (c *Cache) flushAllInternal() {
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			c.sets[s][i] = line{}
+		}
+	}
+}
+
+// FlushThread drops all lines owned by one hardware thread (used by the
+// privilege-partitioning mitigation experiments).
+func (c *Cache) FlushThread(thread int) {
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			l := &c.sets[s][i]
+			if l.valid && l.thread == thread {
+				l.valid = false
+				c.stats.Invalidations++
+			}
+		}
+	}
+}
+
+// LineInfo describes one valid line for occupancy inspection (Fig 8 and
+// the structural tests).
+type LineInfo struct {
+	Set     int
+	Way     int
+	Thread  int
+	Region  uint64
+	Entry   uint8
+	Seq     uint8
+	Slots   int
+	Uops    int
+	Hotness int
+}
+
+// Snapshot returns all valid lines.
+func (c *Cache) Snapshot() []LineInfo {
+	var out []LineInfo
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			l := &c.sets[s][w]
+			if !l.valid {
+				continue
+			}
+			out = append(out, LineInfo{
+				Set: s, Way: w, Thread: l.thread,
+				Region: l.region, Entry: l.entry, Seq: l.seq,
+				Slots: l.slots, Uops: len(l.uops), Hotness: l.hotness,
+			})
+		}
+	}
+	return out
+}
+
+// OccupiedWays returns how many ways of physical set s are valid.
+func (c *Cache) OccupiedWays(s int) int {
+	n := 0
+	for w := range c.sets[s] {
+		if c.sets[s][w].valid {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,162 @@
+// Package victim assembles the vulnerable code the §VI transient
+// execution attacks target: the Listing 4 bounds-check victim
+// (Spectre-v1 style) and the Listing 5 authorization-check victim whose
+// transmitter is a secret-dependent indirect call guarded by a fence.
+package victim
+
+import (
+	"deaduops/internal/asm"
+	"deaduops/internal/isa"
+)
+
+// Layout fixes the guest data addresses shared by victims and attacks.
+type Layout struct {
+	// ArraySizeAddr holds the public array's length; the attacker
+	// flushes it to open the speculation window.
+	ArraySizeAddr uint64
+	// ArrayBase is the public array (in-bounds accesses are benign).
+	ArrayBase uint64
+	ArrayLen  int64
+	// SecretBase is the victim's secret byte array. The Spectre index
+	// i = SecretBase - ArrayBase + k reaches secret byte k.
+	SecretBase uint64
+	// AuthAddr holds the variant-2 authorization token; FunTable the
+	// two transmitter function pointers; Secret2Addr the single-bit
+	// secret selecting between them.
+	AuthAddr    uint64
+	FunTable    uint64
+	Secret2Addr uint64
+	// ProbeArray is the classic Spectre-v1 flush+reload array
+	// (256 cache lines).
+	ProbeArray uint64
+}
+
+// DefaultLayout returns the layout used throughout the attacks.
+func DefaultLayout() Layout {
+	return Layout{
+		ArraySizeAddr: 0x1000,
+		ArrayBase:     0x2000,
+		ArrayLen:      1024,
+		SecretBase:    0x3000,
+		AuthAddr:      0x1100,
+		FunTable:      0x1200,
+		Secret2Addr:   0x3800,
+		ProbeArray:    0x200000,
+	}
+}
+
+// AuthToken is the value at AuthAddr that authorizes the variant-2
+// victim.
+const AuthToken = 0x5A5A
+
+// Registers used by the victim ABI.
+const (
+	// RegArg carries the caller's argument (index or user id); RegRet
+	// the return value.
+	RegArg = isa.R1
+	RegRet = isa.R0
+)
+
+// BoundsCheckVictim emits the Listing 4 victim at the builder's PC:
+//
+//	uint8_t victim_function(size_t i) {
+//	    if (i < array_size) return array[i];
+//	    return -1;
+//	}
+//
+// The bounds check loads array_size from memory, so flushing that line
+// delays the (macro-fused) compare+branch and opens the transient
+// window. Labels: victim_function, victim_oob.
+func BoundsCheckVictim(b *asm.Builder, l Layout) {
+	b.Label("victim_function")
+	b.Load(isa.R3, isa.R2, int64(l.ArraySizeAddr)) // R2 must be zero
+	b.Cmp(RegArg, isa.R3)
+	b.Jcc(isa.AE, "victim_oob")
+	b.Loadb(RegRet, RegArg, int64(l.ArrayBase))
+	b.Ret()
+	b.Label("victim_oob")
+	b.Movi(RegRet, -1)
+	b.Ret()
+}
+
+// SecretUse emits a routine standing in for the victim's own
+// legitimate use of its secret (a crypto library touches its key
+// material constantly): it loads secret[R1] architecturally, which
+// keeps the byte cache-resident. Spectre-style attacks conventionally
+// assume this — without it, a transiently read cold secret cannot
+// steer dependent transient code inside the speculation window,
+// especially under invisible-speculation defenses where the transient
+// read itself cannot warm the cache. Label: victim_use_secret.
+func SecretUse(b *asm.Builder, l Layout) {
+	b.Label("victim_use_secret")
+	b.Loadb(RegRet, RegArg, int64(l.SecretBase))
+	b.Ret()
+}
+
+// Fence selects the synchronization primitive between the variant-2
+// victim's authorization check and its transmitter.
+type Fence int
+
+// Fence kinds (Fig 10's three victims).
+const (
+	// NoFence leaves the gadget unguarded.
+	NoFence Fence = iota
+	// WithLFENCE inserts LFENCE: younger micro-ops are not dispatched
+	// to execution — but they are still fetched, which is exactly what
+	// the variant-2 attack needs.
+	WithLFENCE
+	// WithCPUID inserts CPUID, which serializes fetch itself and
+	// closes the channel.
+	WithCPUID
+)
+
+// String implements fmt.Stringer.
+func (f Fence) String() string {
+	switch f {
+	case NoFence:
+		return "none"
+	case WithLFENCE:
+		return "lfence"
+	case WithCPUID:
+		return "cpuid"
+	default:
+		return "fence?"
+	}
+}
+
+// IndirectCallVictim emits the Listing 5 victim:
+//
+//	void victim_function(ID user_id) {
+//	    if (user_id is authorized) {
+//	        lfence;          // per Fence
+//	        fun[secret]();   // transmitter: indirect call
+//	    }
+//	}
+//
+// The authorization check loads the token from memory (flushable); the
+// transmitter is an indirect call through a secret-indexed function
+// table. Prior authorized executions encode the secret in the indirect
+// branch predictor; a transient fetch at the predicted target leaves a
+// micro-op cache footprint before the call is ever dispatched.
+// Labels: victim2, victim2_fail.
+func IndirectCallVictim(b *asm.Builder, l Layout, f Fence) {
+	b.Label("victim2")
+	b.Load(isa.R3, isa.R2, int64(l.AuthAddr)) // R2 must be zero
+	b.Cmp(RegArg, isa.R3)
+	b.Jcc(isa.NE, "victim2_fail")
+	switch f {
+	case WithLFENCE:
+		b.Lfence()
+	case WithCPUID:
+		b.Cpuid()
+	}
+	b.Loadb(isa.R4, isa.R2, int64(l.Secret2Addr))
+	b.Shli(isa.R4, 3)
+	b.Load(isa.R5, isa.R4, int64(l.FunTable))
+	b.Calli(isa.R5)
+	b.Movi(RegRet, 0)
+	b.Ret()
+	b.Label("victim2_fail")
+	b.Movi(RegRet, -1)
+	b.Ret()
+}

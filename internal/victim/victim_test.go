@@ -1,0 +1,172 @@
+package victim
+
+import (
+	"testing"
+
+	"deaduops/internal/asm"
+	"deaduops/internal/cpu"
+	"deaduops/internal/isa"
+)
+
+// buildAndRun assembles a caller around the victim and runs it.
+func runVictim(t *testing.T, build func(b *asm.Builder), setup func(c *cpu.CPU)) *cpu.CPU {
+	t.Helper()
+	b := asm.New(0x20000)
+	build(b)
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.New(cpu.Intel())
+	c.LoadProgram(prog)
+	if setup != nil {
+		setup(c)
+	}
+	if res := c.Run(0, prog.MustLabel("entry"), 1_000_000); res.TimedOut {
+		t.Fatal("victim run timed out")
+	}
+	return c
+}
+
+func TestBoundsCheckVictimInBounds(t *testing.T) {
+	lay := DefaultLayout()
+	c := runVictim(t, func(b *asm.Builder) {
+		BoundsCheckVictim(b, lay)
+		b.Label("entry")
+		b.Call("victim_function")
+		b.Halt()
+	}, func(c *cpu.CPU) {
+		c.Mem().Write(lay.ArraySizeAddr, 8, lay.ArrayLen)
+		c.Mem().Write(lay.ArrayBase+5, 1, 0x7E)
+		c.SetReg(0, RegArg, 5)
+		c.SetReg(0, isa.R2, 0)
+	})
+	if got := c.Reg(0, RegRet); got != 0x7E {
+		t.Errorf("in-bounds read returned %#x, want 0x7E", got)
+	}
+}
+
+func TestBoundsCheckVictimOutOfBounds(t *testing.T) {
+	lay := DefaultLayout()
+	c := runVictim(t, func(b *asm.Builder) {
+		BoundsCheckVictim(b, lay)
+		b.Label("entry")
+		b.Call("victim_function")
+		b.Halt()
+	}, func(c *cpu.CPU) {
+		c.Mem().Write(lay.ArraySizeAddr, 8, lay.ArrayLen)
+		c.SetReg(0, RegArg, lay.ArrayLen+100)
+		c.SetReg(0, isa.R2, 0)
+	})
+	if got := c.Reg(0, RegRet); got != -1 {
+		t.Errorf("out-of-bounds returned %d architecturally, want -1", got)
+	}
+}
+
+func TestBoundsCheckNegativeIndexRejected(t *testing.T) {
+	// The AE (unsigned) comparison rejects negative indices too.
+	lay := DefaultLayout()
+	c := runVictim(t, func(b *asm.Builder) {
+		BoundsCheckVictim(b, lay)
+		b.Label("entry")
+		b.Call("victim_function")
+		b.Halt()
+	}, func(c *cpu.CPU) {
+		c.Mem().Write(lay.ArraySizeAddr, 8, lay.ArrayLen)
+		c.SetReg(0, RegArg, -1)
+		c.SetReg(0, isa.R2, 0)
+	})
+	if got := c.Reg(0, RegRet); got != -1 {
+		t.Errorf("negative index returned %d, want -1", got)
+	}
+}
+
+// indirectVictimHarness builds victim2 plus two recorder targets that
+// write distinct values to R10.
+func indirectVictimHarness(t *testing.T, f Fence) (*cpu.CPU, *asm.Program, Layout) {
+	t.Helper()
+	lay := DefaultLayout()
+	b := asm.New(0x20000)
+	IndirectCallVictim(b, lay, f)
+	b.Org(0x21000)
+	b.Label("fun0")
+	b.Movi(isa.R10, 100)
+	b.Ret()
+	b.Org(0x22000)
+	b.Label("fun1")
+	b.Movi(isa.R10, 101)
+	b.Ret()
+	b.Org(0x23000)
+	b.Label("entry")
+	b.Call("victim2")
+	b.Halt()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.New(cpu.Intel())
+	c.LoadProgram(prog)
+	c.Mem().Write(lay.AuthAddr, 8, AuthToken)
+	c.Mem().Write(lay.FunTable, 8, int64(prog.MustLabel("fun0")))
+	c.Mem().Write(lay.FunTable+8, 8, int64(prog.MustLabel("fun1")))
+	return c, prog, lay
+}
+
+func TestIndirectCallVictimDispatchesOnSecret(t *testing.T) {
+	for _, f := range []Fence{NoFence, WithLFENCE, WithCPUID} {
+		for secret := int64(0); secret <= 1; secret++ {
+			c, prog, lay := indirectVictimHarness(t, f)
+			c.Mem().Write(lay.Secret2Addr, 1, secret)
+			c.SetReg(0, RegArg, AuthToken)
+			c.SetReg(0, isa.R2, 0)
+			c.SetReg(0, isa.R10, 0)
+			if res := c.Run(0, prog.MustLabel("entry"), 1_000_000); res.TimedOut {
+				t.Fatalf("fence=%s secret=%d timed out", f, secret)
+			}
+			if got := c.Reg(0, isa.R10); got != 100+secret {
+				t.Errorf("fence=%s secret=%d: called fun writing %d", f, secret, got)
+			}
+			if got := c.Reg(0, RegRet); got != 0 {
+				t.Errorf("fence=%s: authorized call returned %d", f, got)
+			}
+		}
+	}
+}
+
+func TestIndirectCallVictimRejectsUnauthorized(t *testing.T) {
+	c, prog, lay := indirectVictimHarness(t, NoFence)
+	c.Mem().Write(lay.Secret2Addr, 1, 1)
+	c.SetReg(0, RegArg, 0xBAD)
+	c.SetReg(0, isa.R2, 0)
+	c.SetReg(0, isa.R10, 0)
+	if res := c.Run(0, prog.MustLabel("entry"), 1_000_000); res.TimedOut {
+		t.Fatal("timed out")
+	}
+	if got := c.Reg(0, RegRet); got != -1 {
+		t.Errorf("unauthorized call returned %d, want -1", got)
+	}
+	if got := c.Reg(0, isa.R10); got != 0 {
+		t.Errorf("transmitter ran architecturally for unauthorized caller (R10=%d)", got)
+	}
+}
+
+func TestFenceStrings(t *testing.T) {
+	cases := map[Fence]string{NoFence: "none", WithLFENCE: "lfence", WithCPUID: "cpuid"}
+	for f, want := range cases {
+		if got := f.String(); got != want {
+			t.Errorf("%d.String() = %q", f, got)
+		}
+	}
+}
+
+func TestDefaultLayoutDisjoint(t *testing.T) {
+	l := DefaultLayout()
+	// The secret must sit beyond the public array so the Spectre index
+	// is positive, and the probe array must not overlap either.
+	if l.SecretBase <= l.ArrayBase+uint64(l.ArrayLen) {
+		t.Error("secret overlaps the public array")
+	}
+	if l.ProbeArray < l.SecretBase+4096 {
+		t.Error("probe array too close to the secret")
+	}
+}
