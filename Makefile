@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race vet lint check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# lint runs the static front-end leakage analyzer over the victim
+# corpus and asserts the canonical expectations (exit 1 on mismatch).
+lint:
+	$(GO) run ./cmd/uoplint -selftest
+
+check: build vet test race lint

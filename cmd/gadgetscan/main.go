@@ -39,22 +39,10 @@ func main() {
 		}
 	}
 
-	// The shipped victims.
-	b := asm.New(0x20000)
-	victim.BoundsCheckVictim(b, lay)
-	scan("victim: bounds-check", must(b.Build()))
-
-	b = asm.New(0x20000)
-	victim.PCIVPDStyleGadget(b, lay)
-	b.Label("vpd_large")
-	b.Ret()
-	b.Label("vpd_small")
-	b.Ret()
-	scan("victim: pci_vpd_find_tag", must(b.Build()))
-
-	b = asm.New(0x20000)
-	victim.IndirectCallVictim(b, lay, victim.NoFence)
-	scan("victim: indirect-call", must(b.Build()))
+	// The shipped victims (the same corpus cmd/uoplint gates).
+	for _, fx := range victim.Fixtures(lay) {
+		scan("victim: "+fx.Name, fx.Prog)
+	}
 
 	// Random program population.
 	cfg := ref.DefaultGenConfig()
@@ -69,12 +57,4 @@ func main() {
 
 	fmt.Printf("\ntotal: µop-cache %d, spectre-v1 %d (paper's linux census: 100 vs 19)\n",
 		total.UopCache, total.SpectreV1)
-}
-
-func must(p *asm.Program, err error) *asm.Program {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	return p
 }

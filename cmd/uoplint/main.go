@@ -1,0 +1,198 @@
+// Command uoplint runs the static front-end leakage analyzer over
+// guest programs: the canonical victims shipped with this repository
+// and, optionally, a population of randomly generated programs. For
+// each program it reports secret-dependent branches, micro-op cache
+// footprint divergence between branch directions, MITE amplifiers on
+// secret paths, and transient-execution gadgets — the static
+// counterpart of the attacks the simulator demonstrates dynamically.
+//
+// Usage:
+//
+//	uoplint                  lint the victim corpus, human-readable
+//	uoplint -json            machine-readable findings
+//	uoplint -fixture pci-vpd lint one fixture
+//	uoplint -severity error  keep only error-level findings
+//	uoplint -random 20       also lint 20 random programs
+//	uoplint -selftest        assert the canonical expectations (CI gate)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"deaduops/internal/ref"
+	"deaduops/internal/staticlint"
+	"deaduops/internal/victim"
+)
+
+// programReport is the JSON wire form for one linted program.
+type programReport struct {
+	Program     string               `json:"program"`
+	Description string               `json:"description,omitempty"`
+	Findings    []staticlint.Finding `json:"findings"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("uoplint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		asJSON   = fs.Bool("json", false, "emit findings as JSON")
+		minSev   = fs.String("severity", "info", "minimum severity to report (info|warning|error)")
+		fixture  = fs.String("fixture", "", "lint only the named fixture")
+		random   = fs.Int("random", 0, "also lint this many randomly generated programs")
+		selftest = fs.Bool("selftest", false, "assert canonical victim expectations and exit nonzero on mismatch")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	min, err := staticlint.ParseSeverity(*minSev)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	lay := victim.DefaultLayout()
+	cfg := staticlint.DefaultConfig()
+	spec := victimSpec(lay)
+
+	var reports []programReport
+	matched := false
+	for _, fx := range victim.Fixtures(lay) {
+		if *fixture != "" && fx.Name != *fixture {
+			continue
+		}
+		matched = true
+		r := staticlint.Lint(fx.Prog, spec, cfg).Filter(min)
+		reports = append(reports, programReport{
+			Program:     fx.Name,
+			Description: fx.Description,
+			Findings:    r.Findings,
+		})
+	}
+	if *fixture != "" && !matched {
+		fmt.Fprintf(stderr, "uoplint: unknown fixture %q\n", *fixture)
+		return 2
+	}
+
+	// Random programs carry no declared secrets; only the transient
+	// gadget checkers can fire on them.
+	genCfg := ref.DefaultGenConfig()
+	for seed := 1; seed <= *random; seed++ {
+		p, err := ref.Generate(uint64(seed), genCfg)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		r := staticlint.Lint(p, staticlint.Spec{}, cfg).Filter(min)
+		reports = append(reports, programReport{
+			Program:  fmt.Sprintf("random-%d", seed),
+			Findings: r.Findings,
+		})
+	}
+
+	if *selftest {
+		if msgs := selfTest(reports); len(msgs) > 0 {
+			for _, m := range msgs {
+				fmt.Fprintf(stderr, "uoplint: selftest: %s\n", m)
+			}
+			return 1
+		}
+		fmt.Fprintln(stdout, "uoplint: selftest ok")
+		return 0
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if *fixture != "" && len(reports) == 1 {
+			// Single-fixture mode emits the bare report object (the
+			// golden-file form).
+			if err := enc.Encode(reports[0]); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+		} else if err := enc.Encode(reports); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		return 0
+	}
+
+	total := 0
+	for _, pr := range reports {
+		fmt.Fprintf(stdout, "== %s", pr.Program)
+		if pr.Description != "" {
+			fmt.Fprintf(stdout, " — %s", pr.Description)
+		}
+		fmt.Fprintln(stdout)
+		if len(pr.Findings) == 0 {
+			fmt.Fprintln(stdout, "  no findings")
+			continue
+		}
+		for _, f := range pr.Findings {
+			fmt.Fprintf(stdout, "  %s\n", f)
+		}
+		total += len(pr.Findings)
+	}
+	fmt.Fprintf(stdout, "\n%d findings across %d programs\n", total, len(reports))
+	return 0
+}
+
+// victimSpec declares the secrets of the shared victim layout: the
+// kernel secret array and the second secret word. The ABI constant
+// "R2 = 0" is deliberately NOT declared — uoplint models the victim as
+// callable with arbitrary registers, so loads whose address depends on
+// an unresolved register are reported at may confidence.
+func victimSpec(l victim.Layout) staticlint.Spec {
+	return staticlint.Spec{
+		SecretRanges: []staticlint.MemRange{
+			{Start: l.SecretBase, End: l.SecretBase + uint64(l.ArrayLen)},
+			{Start: l.Secret2Addr, End: l.Secret2Addr + 8},
+		},
+	}
+}
+
+// selfTest checks the canonical expectations the paper's examples fix:
+// the pci_vpd-style victim must exhibit both the secret-dependent
+// branch and micro-op cache footprint divergence (it is the §VI-A
+// gadget), while the plain Listing-4 bounds-check victim has a
+// secret-dependent branch but no Spectre-v1 double-load.
+func selfTest(reports []programReport) []string {
+	var msgs []string
+	has := func(name, checker string) bool {
+		for _, pr := range reports {
+			if pr.Program != name {
+				continue
+			}
+			for _, f := range pr.Findings {
+				if f.Checker == checker {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	expect := func(name, checker string, want bool) {
+		if has(name, checker) != want {
+			verb := "missing"
+			if !want {
+				verb = "unexpected"
+			}
+			msgs = append(msgs, fmt.Sprintf("%s: %s %s finding", name, verb, checker))
+		}
+	}
+	expect("pci-vpd", "secret-dependent-branch", true)
+	expect("pci-vpd", "dsb-footprint-divergence", true)
+	expect("pci-vpd", "uop-cache-gadget", true)
+	expect("bounds-check", "secret-dependent-branch", true)
+	expect("bounds-check", "spectre-v1-gadget", false)
+	expect("indirect-call", "secret-dependent-branch", true)
+	return msgs
+}

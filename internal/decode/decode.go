@@ -143,6 +143,16 @@ func (p *RegionPlan) TotalUops() int { return p.MITEUops + p.MSROMUops }
 // Cycles returns the number of decode cycles the plan occupies.
 func (p *RegionPlan) Cycles() int { return len(p.Slots) }
 
+// Macros returns a uopcache.PlanFunc that decodes one region fetch
+// into its trace-builder macro-op groups (macro-fusion applied) under
+// cfg — the adapter the static footprint analysis (uopcache.Footprint)
+// uses to share this package's decode semantics with the simulator.
+func Macros(cfg Config) uopcache.PlanFunc {
+	return func(insts []*isa.Inst) []uopcache.MacroUops {
+		return PlanRegion(cfg, insts).Macros
+	}
+}
+
 // PlanRegion produces the legacy-decode schedule for insts, the
 // in-order macro-ops of one region fetch (ending at the region's last
 // instruction or its first unconditional jump).

@@ -16,13 +16,21 @@
 // second access is followed by dependent control flow; the paper's
 // count being 5× larger follows from the weaker structural requirement,
 // which this scanner reproduces on generated programs.
+//
+// The detection engine is internal/staticlint's taint dataflow in its
+// transient-window mode. Compared to the linear pattern scan this
+// package originally shipped, the engine kills taint when the guarded
+// load's destination is overwritten (MOVI, MOV from a clean register,
+// the xor/sub self-zeroing idioms, RDTSC) and tracks taint through
+// resolved memory cells, eliminating the spurious findings the old
+// scanner produced on overwritten registers.
 package gadget
 
 import (
 	"fmt"
 
 	"deaduops/internal/asm"
-	"deaduops/internal/isa"
+	"deaduops/internal/staticlint"
 )
 
 // Kind classifies a finding.
@@ -64,93 +72,20 @@ func (f Finding) String() string {
 		f.Kind, f.Guard, f.Load, f.Sink)
 }
 
-// scanWindow bounds how far past the guard the scanner tracks taint
-// (transient windows are finite).
-const scanWindow = 24
-
 // Scan walks every instruction of the program, treating each
-// conditional branch as a potential bypassable guard and tracking
-// the taint of loads on its fall-through path.
+// conditional branch as a potential bypassable guard, and runs the
+// reaching-definitions taint engine over its transient window.
 func Scan(p *asm.Program) []Finding {
 	var out []Finding
-	for _, in := range p.Insts {
-		if in.Op != isa.JCC {
-			continue
+	for _, h := range staticlint.ScanGadgets(p, staticlint.DefaultConfig()) {
+		f := Finding{Guard: h.Guard, Load: h.Load, Sink: h.Sink}
+		switch h.Kind {
+		case staticlint.GadgetUopCache:
+			f.Kind = UopCacheGadget
+		case staticlint.GadgetSpectreV1:
+			f.Kind = SpectreV1Gadget
 		}
-		out = append(out, scanFrom(p, in)...)
-	}
-	return out
-}
-
-// scanFrom taints loads after a guard and looks for disclosure sinks.
-func scanFrom(p *asm.Program, guard *isa.Inst) []Finding {
-	var out []Finding
-	// tainted[r] holds the address of the load whose value reached r.
-	tainted := map[isa.Reg]uint64{}
-	seenUop := map[uint64]bool{}
-	seenV1 := map[uint64]bool{}
-
-	pc := guard.End()
-	for step := 0; step < scanWindow; step++ {
-		in := p.At(pc)
-		if in == nil {
-			break
-		}
-		switch in.Op {
-		case isa.LOAD, isa.LOADB:
-			if src, ok := tainted[in.Src]; ok && !seenV1[src] {
-				// Tainted address feeding a second load: the classic
-				// Spectre-v1 double-load.
-				seenV1[src] = true
-				out = append(out, Finding{
-					Kind: SpectreV1Gadget, Guard: guard.Addr, Load: src, Sink: in.Addr,
-				})
-			}
-			tainted[in.Dst] = in.Addr
-		case isa.MOV:
-			if src, ok := tainted[in.Src]; ok {
-				tainted[in.Dst] = src
-			} else {
-				delete(tainted, in.Dst)
-			}
-		case isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR, isa.SHL, isa.SHR:
-			// Dst stays/becomes tainted if either operand is.
-			if !in.HasImm {
-				if src, ok := tainted[in.Src]; ok {
-					tainted[in.Dst] = src
-				}
-			}
-		case isa.MOVI:
-			delete(tainted, in.Dst)
-		case isa.CMP, isa.TEST:
-			// A compare on a tainted value taints the flags; the
-			// immediately following conditional branch is the sink.
-			src, ok := tainted[in.Dst]
-			if !ok && !in.HasImm {
-				src, ok = tainted[in.Src]
-			}
-			if ok {
-				// Look ahead for the dependent branch.
-				if nxt := p.At(in.End()); nxt != nil && nxt.Op == isa.JCC && !seenUop[src] {
-					seenUop[src] = true
-					out = append(out, Finding{
-						Kind: UopCacheGadget, Guard: guard.Addr, Load: src, Sink: nxt.Addr,
-					})
-				}
-			}
-		case isa.JMPI, isa.CALLI:
-			if src, ok := tainted[in.Dst]; ok && !seenUop[src] {
-				seenUop[src] = true
-				out = append(out, Finding{
-					Kind: UopCacheGadget, Guard: guard.Addr, Load: src, Sink: in.Addr,
-				})
-			}
-			return out
-		case isa.JMP, isa.CALL, isa.RET, isa.HALT, isa.SYSCALL, isa.SYSRET:
-			// Control leaves the straight-line window.
-			return out
-		}
-		pc = in.End()
+		out = append(out, f)
 	}
 	return out
 }

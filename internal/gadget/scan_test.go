@@ -91,6 +91,88 @@ func TestMoviClearsTaint(t *testing.T) {
 	}
 }
 
+func TestZeroIdiomKillsTaint(t *testing.T) {
+	// Regression: the original linear scanner propagated taint through
+	// the xor-self zeroing idiom (dst stays "tainted" because its own
+	// operand is), flagging a spurious µop-cache gadget here — the
+	// branch depends on the constant 0, not the guarded load. The
+	// reaching-definitions engine kills the definition on overwrite.
+	b := asm.New(0x1000)
+	b.Cmpi(isa.R1, 100)
+	b.Jcc(isa.AE, "out")
+	b.Loadb(isa.R2, isa.R1, 0x2000)
+	b.Xor(isa.R2, isa.R2) // r2 = 0: the load's definition dies here
+	b.Cmpi(isa.R2, 0)
+	b.Jcc(isa.NE, "out")
+	b.Label("out")
+	b.Halt()
+	if c := Count(Scan(b.MustBuild())); c.UopCache != 0 {
+		t.Errorf("taint survived xor-self overwrite: %+v", c)
+	}
+}
+
+func TestSubSelfKillsTaint(t *testing.T) {
+	b := asm.New(0x1000)
+	b.Cmpi(isa.R1, 100)
+	b.Jcc(isa.AE, "out")
+	b.Loadb(isa.R2, isa.R1, 0x2000)
+	b.Sub(isa.R2, isa.R2) // r2 = 0
+	b.Shli(isa.R2, 6)
+	b.Loadb(isa.R3, isa.R2, 0x8000) // address is the constant 0x8000
+	b.Label("out")
+	b.Halt()
+	if c := Count(Scan(b.MustBuild())); c.SpectreV1 != 0 {
+		t.Errorf("taint survived sub-self overwrite: %+v", c)
+	}
+}
+
+func TestRdtscOverwriteKillsTaint(t *testing.T) {
+	// Regression: RDTSC overwrites its destination with the cycle
+	// counter; the original scanner had no case for it, so the guarded
+	// load's taint leaked through to the branch.
+	b := asm.New(0x1000)
+	b.Cmpi(isa.R1, 100)
+	b.Jcc(isa.AE, "out")
+	b.Loadb(isa.R2, isa.R1, 0x2000)
+	b.Rdtsc(isa.R2) // overwrites r2: definition killed
+	b.Cmpi(isa.R2, 0)
+	b.Jcc(isa.NE, "out")
+	b.Label("out")
+	b.Halt()
+	if c := Count(Scan(b.MustBuild())); c.UopCache != 0 {
+		t.Errorf("taint survived rdtsc overwrite: %+v", c)
+	}
+}
+
+func TestTaintThroughResolvedMemory(t *testing.T) {
+	// Precision gain over the linear scanner: a guarded load spilled
+	// to a resolved address and reloaded keeps its original source
+	// attribution, so the finding names the first (guarded) load.
+	b := asm.New(0x1000)
+	b.Cmpi(isa.R1, 100)
+	b.Jcc(isa.AE, "out")
+	loadAddr := b.PC()
+	b.Loadb(isa.R2, isa.R1, 0x2000) // the guarded load
+	b.Movi(isa.R3, 0x5000)
+	b.Store(isa.R3, 0, isa.R2) // spill to [0x5000]
+	b.Movi(isa.R2, 0)          // kill the register copy
+	b.Load(isa.R4, isa.R3, 0)  // reload from [0x5000]
+	b.Cmpi(isa.R4, 0)
+	b.Jcc(isa.NE, "out")
+	b.Label("out")
+	b.Halt()
+	found := Scan(b.MustBuild())
+	ok := false
+	for _, f := range found {
+		if f.Kind == UopCacheGadget && f.Load == loadAddr {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Errorf("taint lost through memory spill/reload: %v", found)
+	}
+}
+
 func TestTaintFlowsThroughALU(t *testing.T) {
 	b := asm.New(0x1000)
 	b.Cmpi(isa.R1, 100)

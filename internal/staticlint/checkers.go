@@ -1,0 +1,276 @@
+package staticlint
+
+import (
+	"fmt"
+	"sort"
+
+	"deaduops/internal/decode"
+	"deaduops/internal/isa"
+	"deaduops/internal/uopcache"
+)
+
+// secretBranch is a control transfer whose outcome depends on secret
+// taint, with the taint that reaches it.
+type secretBranch struct {
+	inst  *isa.Inst
+	taint taintSet
+	conf  Confidence
+}
+
+// secretBranches enumerates every conditional or indirect control
+// transfer whose predicate (flags) or target register carries secret
+// taint at the fixpoint.
+func (a *Analysis) secretBranches() []secretBranch {
+	var out []secretBranch
+	for bi, b := range a.CFG.Blocks {
+		if !a.reached[bi] {
+			continue
+		}
+		st := a.in[bi].clone()
+		for _, in := range b.Insts {
+			var t taintSet
+			switch in.Op {
+			case isa.JCC:
+				t = st.Flags
+			case isa.JMPI, isa.CALLI:
+				t = st.Regs[in.Dst&0x0F]
+			}
+			def, may := a.SecretTaint(t)
+			if def|may != 0 {
+				conf := May
+				if def != 0 {
+					conf = Definite
+				}
+				out = append(out, secretBranch{inst: in, taint: def | may, conf: conf})
+			}
+			a.step(st, in, nil)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].inst.Addr < out[j].inst.Addr })
+	return out
+}
+
+// sourceStrings renders the sources of set for a finding.
+func (a *Analysis) sourceStrings(set taintSet) []string {
+	var out []string
+	for _, s := range a.SourcesOf(set) {
+		out = append(out, s.String())
+	}
+	return out
+}
+
+// SecretBranchChecker flags secret-dependent control flow — the
+// constant-time violation enabling the paper's attack: the victim's
+// fetch footprint becomes a function of the secret.
+type SecretBranchChecker struct{}
+
+// Name implements Checker.
+func (SecretBranchChecker) Name() string { return "secret-dependent-branch" }
+
+// Check implements Checker.
+func (c SecretBranchChecker) Check(a *Analysis) []Finding {
+	var out []Finding
+	for _, sb := range a.secretBranches() {
+		kind := "conditional branch"
+		if sb.inst.Op == isa.JMPI {
+			kind = "indirect jump"
+		} else if sb.inst.Op == isa.CALLI {
+			kind = "indirect call"
+		}
+		out = append(out, Finding{
+			Checker:  c.Name(),
+			Severity: SevError,
+			Conf:     sb.conf,
+			Addr:     sb.inst.Addr,
+			Message:  fmt.Sprintf("%s %v depends on secret data (constant-time violation)", kind, sb.inst),
+			Sources:  a.sourceStrings(sb.taint),
+		})
+	}
+	return out
+}
+
+// pathInfo is the straight-line over-approximation of one successor
+// path: the fetch ranges it touches and the macro-ops on it.
+type pathInfo struct {
+	Ranges []uopcache.Range
+	Insts  []*isa.Inst
+}
+
+// walkPath follows fetch from start — sequentially, through direct
+// jumps and into direct calls, along the fall-through of nested
+// conditional branches — for up to budget macro-ops, and returns the
+// address ranges touched. The walk stops at returns, indirect control
+// flow, HALT, system crossings, unmapped addresses, and revisits.
+func (a *Analysis) walkPath(start uint64, budget int) pathInfo {
+	var p pathInfo
+	visited := make(map[uint64]bool)
+	pc := start
+	rangeStart := start
+	closeRange := func(end uint64) {
+		if end > rangeStart {
+			p.Ranges = append(p.Ranges, uopcache.Range{Start: rangeStart, End: end})
+		}
+	}
+	for i := 0; i < budget; i++ {
+		in := a.Prog.At(pc)
+		if in == nil || visited[pc] {
+			closeRange(pc)
+			return p
+		}
+		visited[pc] = true
+		p.Insts = append(p.Insts, in)
+		switch in.Op {
+		case isa.JMP, isa.CALL:
+			closeRange(in.End())
+			pc = uint64(in.Imm)
+			rangeStart = pc
+		case isa.RET, isa.JMPI, isa.CALLI, isa.HALT, isa.SYSCALL, isa.SYSRET:
+			closeRange(in.End())
+			return p
+		default:
+			pc = in.End()
+		}
+	}
+	closeRange(pc)
+	return p
+}
+
+// footprintOf computes the micro-op cache footprint of one path.
+func (a *Analysis) footprintOf(p pathInfo) uopcache.FootprintResult {
+	return uopcache.FootprintRanges(a.Cfg.UopCache, a.Prog, p.Ranges, decode.Macros(a.Cfg.Decode))
+}
+
+// occupancyList converts a footprint's set map to a sorted slice.
+func occupancyList(f uopcache.FootprintResult) []SetOccupancy {
+	var out []SetOccupancy
+	for _, s := range f.SetList() {
+		out = append(out, SetOccupancy{Set: s, Ways: f.Sets[s]})
+	}
+	return out
+}
+
+// divergentSets lists the sets whose way occupancy differs between two
+// footprints, ascending.
+func divergentSets(x, y uopcache.FootprintResult) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for s, w := range x.Sets {
+		if y.Sets[s] != w && !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	for s, w := range y.Sets {
+		if x.Sets[s] != w && !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// FootprintDivergenceChecker flags secret-dependent conditional
+// branches whose two successor paths occupy different micro-op cache
+// sets/ways under the placement rules — the condition that makes the
+// secret observable through the paper's prime+probe timing contract
+// (§IV): an attacker probing the divergent sets sees which path the
+// victim fetched.
+type FootprintDivergenceChecker struct{}
+
+// Name implements Checker.
+func (FootprintDivergenceChecker) Name() string { return "dsb-footprint-divergence" }
+
+// Check implements Checker.
+func (c FootprintDivergenceChecker) Check(a *Analysis) []Finding {
+	var out []Finding
+	for _, sb := range a.secretBranches() {
+		if sb.inst.Op != isa.JCC {
+			continue
+		}
+		taken := a.footprintOf(a.walkPath(uint64(sb.inst.Imm), a.Cfg.PathBudget))
+		fall := a.footprintOf(a.walkPath(sb.inst.End(), a.Cfg.PathBudget))
+		if taken.Equal(&fall) {
+			continue
+		}
+		div := divergentSets(taken, fall)
+		msg := fmt.Sprintf(
+			"secret-dependent branch %v: successor paths have divergent µop-cache footprints (%d set(s) differ)",
+			sb.inst, len(div))
+		if taken.Uncacheable != fall.Uncacheable {
+			msg += fmt.Sprintf("; uncacheable regions differ (%d vs %d, MITE-delivered)",
+				taken.Uncacheable, fall.Uncacheable)
+		}
+		out = append(out, Finding{
+			Checker:        c.Name(),
+			Severity:       SevError,
+			Conf:           sb.conf,
+			Addr:           sb.inst.Addr,
+			Message:        msg,
+			Sources:        a.sourceStrings(sb.taint),
+			TakenFootprint: occupancyList(taken),
+			FallFootprint:  occupancyList(fall),
+			DivergentSets:  div,
+		})
+	}
+	return out
+}
+
+// MITEAmplifierChecker flags LCP-stall-bearing and microcoded (MSROM)
+// instructions on secret-dependent paths. Both force or lengthen
+// legacy-decode delivery, widening the cycle delta between the
+// DSB-hit and DSB-miss outcomes the attacker times (the paper's
+// tiger/zebra microbenchmarks pad with LCP instructions for exactly
+// this reason).
+type MITEAmplifierChecker struct{}
+
+// Name implements Checker.
+func (MITEAmplifierChecker) Name() string { return "mite-amplifier" }
+
+// Check implements Checker.
+func (c MITEAmplifierChecker) Check(a *Analysis) []Finding {
+	var out []Finding
+	for _, sb := range a.secretBranches() {
+		if sb.inst.Op != isa.JCC {
+			continue
+		}
+		for _, dir := range []struct {
+			name  string
+			start uint64
+		}{
+			{"taken", uint64(sb.inst.Imm)},
+			{"fallthrough", sb.inst.End()},
+		} {
+			p := a.walkPath(dir.start, a.Cfg.PathBudget)
+			lcp, msrom := 0, 0
+			var first *isa.Inst
+			for _, in := range p.Insts {
+				if in.LCP || in.Microcoded() {
+					if first == nil {
+						first = in
+					}
+					if in.LCP {
+						lcp++
+					}
+					if in.Microcoded() {
+						msrom++
+					}
+				}
+			}
+			if lcp+msrom == 0 {
+				continue
+			}
+			out = append(out, Finding{
+				Checker:  c.Name(),
+				Severity: SevWarning,
+				Conf:     sb.conf,
+				Addr:     sb.inst.Addr,
+				Message: fmt.Sprintf(
+					"%s path of secret-dependent branch %v carries %d LCP and %d MSROM instruction(s) (first at %#x): decode-latency amplifiers widen the measurable delta",
+					dir.name, sb.inst, lcp, msrom, first.Addr),
+				Sources: a.sourceStrings(sb.taint),
+			})
+		}
+	}
+	return out
+}

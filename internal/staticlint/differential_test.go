@@ -1,0 +1,147 @@
+package staticlint_test
+
+// Differential validation: the static checkers predict that the two
+// directions of the vpd tag branch occupy different micro-op cache
+// sets; this file confirms the prediction on the cycle-level model.
+// First the fill pattern: running each direction on a fresh core must
+// produce snapshots that disagree on at least one statically predicted
+// divergent set. Then the timing channel itself: replaying one fixed
+// direction is measurably faster on a core whose micro-op cache was
+// warmed by that same direction than on one warmed by the other —
+// the per-path DSB residence the paper's §VI-A attack observes.
+
+import (
+	"testing"
+
+	"deaduops/internal/cpu"
+	"deaduops/internal/isa"
+	"deaduops/internal/staticlint"
+	"deaduops/internal/victim"
+)
+
+const (
+	tagLarge = 0xFF // bit 0x80 set: large-tag path
+	tagSmall = 0x01 // bit 0x80 clear: small-tag path
+	vpdOff   = 5
+	maxCyc   = 50_000
+)
+
+func vpdSpecFor(l victim.Layout) staticlint.Spec {
+	return staticlint.Spec{
+		SecretRanges: []staticlint.MemRange{
+			{Start: l.SecretBase, End: l.SecretBase + uint64(l.ArrayLen)},
+			{Start: l.Secret2Addr, End: l.Secret2Addr + 8},
+		},
+	}
+}
+
+// tagDivergence lints the vpd fixture and returns the footprint
+// divergence finding for its tag branch.
+func tagDivergence(t *testing.T) staticlint.Finding {
+	t.Helper()
+	l := victim.DefaultLayout()
+	p := victim.BuildPCIVPD(l)
+	target := p.MustLabel("vpd_large_path")
+	r := staticlint.Lint(p, vpdSpecFor(l), staticlint.DefaultConfig())
+	for _, f := range r.ByChecker("dsb-footprint-divergence") {
+		in := p.At(f.Addr)
+		if in != nil && in.Op == isa.JCC && uint64(in.Imm) == target {
+			return f
+		}
+	}
+	t.Fatal("linter did not flag the tag branch with footprint divergence")
+	return staticlint.Finding{}
+}
+
+// newVPDCore builds a fresh core with the vpd program and its data
+// image (array length + one header byte) installed.
+func newVPDCore(t *testing.T, tag int64) *cpu.CPU {
+	t.Helper()
+	l := victim.DefaultLayout()
+	c := cpu.New(cpu.Intel())
+	c.LoadProgram(victim.BuildPCIVPD(l))
+	c.Mem().Write(l.ArraySizeAddr, 8, int64(l.ArrayLen))
+	c.Mem().Write(l.ArrayBase+vpdOff, 1, tag)
+	return c
+}
+
+// runVPD executes one in-bounds call of the routine.
+func runVPD(t *testing.T, c *cpu.CPU, entry uint64) cpu.RunResult {
+	t.Helper()
+	c.SetReg(0, victim.RegArg, vpdOff)
+	c.SetReg(0, isa.R2, 0)
+	res := c.Run(0, entry, maxCyc)
+	if res.TimedOut {
+		t.Fatal("vpd run timed out")
+	}
+	return res
+}
+
+// fillPattern runs one direction on a fresh core (training the
+// predictors first and flushing the cache so wrong-path fills from the
+// cold first run don't blur the picture) and returns the per-set way
+// occupancy it leaves in the micro-op cache.
+func fillPattern(t *testing.T, tag int64) map[int]int {
+	t.Helper()
+	c := newVPDCore(t, tag)
+	entry := victim.BuildPCIVPD(victim.DefaultLayout()).MustLabel("main")
+	for i := 0; i < 3; i++ {
+		runVPD(t, c, entry)
+	}
+	c.FlushUopCache()
+	runVPD(t, c, entry)
+	occ := map[int]int{}
+	for _, li := range c.UopCache().Snapshot() {
+		occ[li.Set]++
+	}
+	return occ
+}
+
+func TestPredictedDivergentSetsDifferInModel(t *testing.T) {
+	f := tagDivergence(t)
+	if len(f.DivergentSets) == 0 {
+		t.Fatal("divergence finding lists no sets")
+	}
+	occLarge := fillPattern(t, tagLarge)
+	occSmall := fillPattern(t, tagSmall)
+
+	differ := 0
+	for _, s := range f.DivergentSets {
+		if occLarge[s] != occSmall[s] {
+			differ++
+		}
+	}
+	t.Logf("predicted divergent sets %v: %d/%d differ in the model (large %v, small %v)",
+		f.DivergentSets, differ, len(f.DivergentSets), occLarge, occSmall)
+	if differ == 0 {
+		t.Errorf("no predicted divergent set differs: predicted %v, large %v, small %v",
+			f.DivergentSets, occLarge, occSmall)
+	}
+}
+
+// measureProbe trains a core on one direction, then measures a probe
+// run of a fixed direction (the large path) on it.
+func measureProbe(t *testing.T, trainTag int64) cpu.RunResult {
+	t.Helper()
+	l := victim.DefaultLayout()
+	c := newVPDCore(t, trainTag)
+	entry := victim.BuildPCIVPD(l).MustLabel("main")
+	for i := 0; i < 4; i++ {
+		runVPD(t, c, entry)
+	}
+	c.Mem().Write(l.ArrayBase+vpdOff, 1, tagLarge)
+	return runVPD(t, c, entry)
+}
+
+func TestFlaggedBranchShowsFrontEndCycleDelta(t *testing.T) {
+	// The linter must have flagged the branch for the delta to count as
+	// validation of a finding.
+	tagDivergence(t)
+
+	same := measureProbe(t, tagLarge)  // probe path resident in the DSB
+	cross := measureProbe(t, tagSmall) // probe path cold: MITE refill
+	t.Logf("probe of large path: warm %d cycles, cold %d cycles", same.Cycles, cross.Cycles)
+	if cross.Cycles <= same.Cycles {
+		t.Errorf("no front-end cycle delta: warm %d, cold %d", same.Cycles, cross.Cycles)
+	}
+}

@@ -1,0 +1,208 @@
+package staticlint
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Severity ranks a finding.
+type Severity int
+
+// Severity levels, ascending.
+const (
+	SevInfo Severity = iota
+	SevWarning
+	SevError
+)
+
+// String implements fmt.Stringer.
+func (s Severity) String() string {
+	switch s {
+	case SevInfo:
+		return "info"
+	case SevWarning:
+		return "warning"
+	case SevError:
+		return "error"
+	default:
+		return fmt.Sprintf("severity(%d)", int(s))
+	}
+}
+
+// ParseSeverity converts a CLI string to a Severity.
+func ParseSeverity(s string) (Severity, error) {
+	switch strings.ToLower(s) {
+	case "info":
+		return SevInfo, nil
+	case "warning", "warn":
+		return SevWarning, nil
+	case "error":
+		return SevError, nil
+	}
+	return SevInfo, fmt.Errorf("staticlint: unknown severity %q", s)
+}
+
+// Confidence states how certain the analysis is that real secret data
+// reaches the flagged site.
+type Confidence int
+
+// Confidence levels.
+const (
+	// May: the taint path involves an unresolved address that may
+	// alias a declared secret (sound over-approximation).
+	May Confidence = iota
+	// Definite: a declared secret register or a resolved secret-range
+	// read reaches the site.
+	Definite
+)
+
+// String implements fmt.Stringer.
+func (c Confidence) String() string {
+	if c == Definite {
+		return "definite"
+	}
+	return "may"
+}
+
+// SetOccupancy is one set's predicted way occupancy, for findings.
+type SetOccupancy struct {
+	Set  int `json:"set"`
+	Ways int `json:"ways"`
+}
+
+// Finding is one checker result.
+type Finding struct {
+	// Checker names the producing checker.
+	Checker  string     `json:"checker"`
+	Severity Severity   `json:"-"`
+	Conf     Confidence `json:"-"`
+	// Addr is the primary site (the flagged branch or sink).
+	Addr uint64 `json:"-"`
+	// Message is the human-readable one-liner.
+	Message string `json:"message"`
+	// Sources lists the taint sources reaching the site.
+	Sources []string `json:"sources,omitempty"`
+	// Guard/Load/Sink trace a gadget finding's chain (zero when
+	// inapplicable).
+	Guard uint64 `json:"-"`
+	Load  uint64 `json:"-"`
+	Sink  uint64 `json:"-"`
+	// TakenFootprint/FallFootprint carry the per-set way occupancy of
+	// the two successor paths for divergence findings.
+	TakenFootprint []SetOccupancy `json:"taken_footprint,omitempty"`
+	FallFootprint  []SetOccupancy `json:"fallthrough_footprint,omitempty"`
+	// DivergentSets are the sets whose occupancy differs between the
+	// paths — the observable signal.
+	DivergentSets []int `json:"divergent_sets,omitempty"`
+}
+
+// findingJSON is the stable wire form: addresses rendered as hex
+// strings so goldens stay readable and diffable.
+type findingJSON struct {
+	Checker        string         `json:"checker"`
+	Severity       string         `json:"severity"`
+	Confidence     string         `json:"confidence"`
+	Addr           string         `json:"addr"`
+	Message        string         `json:"message"`
+	Sources        []string       `json:"sources,omitempty"`
+	Guard          string         `json:"guard,omitempty"`
+	Load           string         `json:"load,omitempty"`
+	Sink           string         `json:"sink,omitempty"`
+	TakenFootprint []SetOccupancy `json:"taken_footprint,omitempty"`
+	FallFootprint  []SetOccupancy `json:"fallthrough_footprint,omitempty"`
+	DivergentSets  []int          `json:"divergent_sets,omitempty"`
+}
+
+func hexOrEmpty(v uint64) string {
+	if v == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%#x", v)
+}
+
+// MarshalJSON implements json.Marshaler.
+func (f Finding) MarshalJSON() ([]byte, error) {
+	return json.Marshal(findingJSON{
+		Checker:        f.Checker,
+		Severity:       f.Severity.String(),
+		Confidence:     f.Conf.String(),
+		Addr:           fmt.Sprintf("%#x", f.Addr),
+		Message:        f.Message,
+		Sources:        f.Sources,
+		Guard:          hexOrEmpty(f.Guard),
+		Load:           hexOrEmpty(f.Load),
+		Sink:           hexOrEmpty(f.Sink),
+		TakenFootprint: f.TakenFootprint,
+		FallFootprint:  f.FallFootprint,
+		DivergentSets:  f.DivergentSets,
+	})
+}
+
+// String renders the finding for terminal output.
+func (f Finding) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s [%s/%s] %#x: %s", f.Checker, f.Severity, f.Conf, f.Addr, f.Message)
+	for _, s := range f.Sources {
+		fmt.Fprintf(&b, "\n    source: %s", s)
+	}
+	if len(f.DivergentSets) > 0 {
+		fmt.Fprintf(&b, "\n    divergent sets: %v", f.DivergentSets)
+	}
+	return b.String()
+}
+
+// Report is the ordered finding list for one program.
+type Report struct {
+	Findings []Finding `json:"findings"`
+}
+
+// sort orders findings deterministically: by address, then checker,
+// then message — so JSON output is diffable across runs and PRs.
+func (r *Report) sort() {
+	sort.SliceStable(r.Findings, func(i, j int) bool {
+		a, b := r.Findings[i], r.Findings[j]
+		if a.Addr != b.Addr {
+			return a.Addr < b.Addr
+		}
+		if a.Checker != b.Checker {
+			return a.Checker < b.Checker
+		}
+		return a.Message < b.Message
+	})
+}
+
+// ByChecker returns the findings produced by the named checker.
+func (r *Report) ByChecker(name string) []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Checker == name {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// MaxSeverity returns the highest severity present (SevInfo when
+// empty).
+func (r *Report) MaxSeverity() Severity {
+	max := SevInfo
+	for _, f := range r.Findings {
+		if f.Severity > max {
+			max = f.Severity
+		}
+	}
+	return max
+}
+
+// Filter returns a report keeping findings at or above min severity.
+func (r *Report) Filter(min Severity) *Report {
+	out := &Report{}
+	for _, f := range r.Findings {
+		if f.Severity >= min {
+			out.Findings = append(out.Findings, f)
+		}
+	}
+	return out
+}

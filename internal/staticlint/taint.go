@@ -1,0 +1,440 @@
+package staticlint
+
+import (
+	"fmt"
+
+	"deaduops/internal/asm"
+	"deaduops/internal/isa"
+)
+
+// MemRange is a half-open guest-memory interval [Start, End) declared
+// secret.
+type MemRange struct {
+	Start, End uint64
+}
+
+// Contains reports whether the access [addr, addr+size) overlaps r.
+func (r MemRange) Contains(addr uint64, size int) bool {
+	return addr < r.End && addr+uint64(size) > r.Start
+}
+
+// Spec declares what the analysis must treat as secret, plus any
+// architectural facts known at entry (ABI constants).
+type Spec struct {
+	// SecretRegs are registers holding secrets at routine entry.
+	SecretRegs []isa.Reg
+	// SecretRanges are guest-memory intervals holding secrets. A load
+	// from a statically known address inside a range is a definite
+	// secret; a load whose address cannot be resolved may alias any
+	// range and acquires may-taint.
+	SecretRanges []MemRange
+	// EntryConsts pins registers to known constants at entry (e.g. an
+	// ABI's zero register), improving address resolution.
+	EntryConsts map[isa.Reg]int64
+}
+
+// taintSet is a bitmask over the analysis' source table. Source
+// indices beyond 63 share the saturation bit.
+type taintSet uint64
+
+const saturationBit = 63
+
+func bitFor(idx int) taintSet {
+	if idx >= saturationBit {
+		idx = saturationBit
+	}
+	return 1 << uint(idx)
+}
+
+// SourceKind classifies a taint source.
+type SourceKind int
+
+// Source kinds.
+const (
+	// SrcSecretReg is a register declared secret at entry.
+	SrcSecretReg SourceKind = iota
+	// SrcSecretRange is a definite read of a declared secret range.
+	SrcSecretRange
+	// SrcMayAlias is a load at a statically unresolved address that
+	// may alias a declared secret range.
+	SrcMayAlias
+	// SrcLoad is a transient-window load (gadget mode): any value a
+	// bypassed guard lets the victim read.
+	SrcLoad
+)
+
+// Source is one entry of the taint source table.
+type Source struct {
+	Kind  SourceKind
+	Reg   isa.Reg  // SrcSecretReg
+	Range MemRange // SrcSecretRange / SrcMayAlias
+	Addr  uint64   // SrcLoad: the load instruction's address
+}
+
+// String implements fmt.Stringer.
+func (s Source) String() string {
+	switch s.Kind {
+	case SrcSecretReg:
+		return fmt.Sprintf("secret register %s", s.Reg)
+	case SrcSecretRange:
+		return fmt.Sprintf("secret range [%#x,%#x)", s.Range.Start, s.Range.End)
+	case SrcMayAlias:
+		return fmt.Sprintf("may-alias of secret range [%#x,%#x)", s.Range.Start, s.Range.End)
+	case SrcLoad:
+		return fmt.Sprintf("guarded load at %#x", s.Addr)
+	default:
+		return "source?"
+	}
+}
+
+// constVal is the constant-propagation lattice for one register:
+// either a known 64-bit constant or not-a-constant.
+type constVal struct {
+	known bool
+	v     int64
+}
+
+// State is the dataflow fact at one program point: per-register taint
+// and constant values, flags taint, and the memory taint model.
+type State struct {
+	Regs  [isa.NumRegs]taintSet
+	Const [isa.NumRegs]constVal
+	// Flags is the taint of the architectural flags (set by CMP/TEST).
+	Flags taintSet
+	// Mem taints individually resolved memory cells (strong updates).
+	Mem map[uint64]taintSet
+	// UnknownStore accumulates taint written through unresolved
+	// addresses; every unresolved load may observe it (weak channel).
+	UnknownStore taintSet
+}
+
+// clone returns an independent copy of s.
+func (s *State) clone() *State {
+	c := *s
+	c.Mem = make(map[uint64]taintSet, len(s.Mem))
+	for k, v := range s.Mem {
+		c.Mem[k] = v
+	}
+	return &c
+}
+
+// memUnion returns the union of all individually tracked cell taints.
+func (s *State) memUnion() taintSet {
+	var u taintSet
+	for _, v := range s.Mem {
+		u |= v
+	}
+	return u
+}
+
+// equal reports whether two states carry identical facts.
+func (s *State) equal(o *State) bool {
+	if s.Regs != o.Regs || s.Const != o.Const ||
+		s.Flags != o.Flags || s.UnknownStore != o.UnknownStore ||
+		len(s.Mem) != len(o.Mem) {
+		return false
+	}
+	for k, v := range s.Mem {
+		if o.Mem[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Analysis is the result of running the dataflow engine over a
+// program: the CFG, the source table, and the per-block fixpoint
+// states checkers consume.
+type Analysis struct {
+	Prog *asm.Program
+	CFG  *CFG
+	Spec Spec
+	Cfg  Config
+
+	sources []Source
+	// rangeDef/rangeMay are the source bits of each secret range's
+	// definite and may-alias readings, indexed like Spec.SecretRanges.
+	rangeDef []taintSet
+	rangeMay []taintSet
+	// secretDef/secretMay are the unions over all secret seeds.
+	secretDef taintSet
+	secretMay taintSet
+
+	in      []*State // fixpoint in-state per block
+	reached []bool
+}
+
+// Sources returns the taint source table (indexed by bit position,
+// saturating at 63).
+func (a *Analysis) Sources() []Source { return a.sources }
+
+// SourcesOf lists the sources in set, for findings.
+func (a *Analysis) SourcesOf(set taintSet) []Source {
+	var out []Source
+	for i, s := range a.sources {
+		if set&bitFor(i) != 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func (a *Analysis) addSource(s Source) taintSet {
+	a.sources = append(a.sources, s)
+	return bitFor(len(a.sources) - 1)
+}
+
+// SecretTaint splits set into its definite- and may-secret components.
+func (a *Analysis) SecretTaint(set taintSet) (def, may taintSet) {
+	return set & a.secretDef, set & a.secretMay
+}
+
+// Analyze builds the CFG and runs the forward taint dataflow to a
+// fixpoint.
+func Analyze(prog *asm.Program, spec Spec, cfg Config) *Analysis {
+	a := &Analysis{
+		Prog: prog,
+		CFG:  BuildCFG(prog),
+		Spec: spec,
+		Cfg:  cfg,
+	}
+	for _, r := range spec.SecretRegs {
+		a.secretDef |= a.addSource(Source{Kind: SrcSecretReg, Reg: r})
+	}
+	for _, mr := range spec.SecretRanges {
+		d := a.addSource(Source{Kind: SrcSecretRange, Range: mr})
+		m := a.addSource(Source{Kind: SrcMayAlias, Range: mr})
+		a.rangeDef = append(a.rangeDef, d)
+		a.rangeMay = append(a.rangeMay, m)
+		a.secretDef |= d
+		a.secretMay |= m
+	}
+	a.run()
+	return a
+}
+
+// entryState builds the seed state applied at every entry block.
+func (a *Analysis) entryState() *State {
+	st := &State{Mem: make(map[uint64]taintSet)}
+	for i, r := range a.Spec.SecretRegs {
+		st.Regs[r&0x0F] |= bitFor(i)
+	}
+	for r, v := range a.Spec.EntryConsts {
+		st.Const[r&0x0F] = constVal{known: true, v: v}
+	}
+	return st
+}
+
+// run executes the worklist fixpoint over the CFG.
+func (a *Analysis) run() {
+	n := len(a.CFG.Blocks)
+	a.in = make([]*State, n)
+	a.reached = make([]bool, n)
+	if n == 0 {
+		return
+	}
+	var work []int
+	for _, e := range a.CFG.Entries() {
+		a.in[e] = a.entryState()
+		a.reached[e] = true
+		work = append(work, e)
+	}
+	if len(work) == 0 {
+		// Fully cyclic program: seed block 0 so the analysis still
+		// covers it.
+		a.in[0] = a.entryState()
+		a.reached[0] = true
+		work = append(work, 0)
+	}
+	// Safety cap: the lattice is finite (taint grows, constants only
+	// decay, tracked cells are bounded by resolved store sites), so the
+	// fixpoint terminates; the cap guards against transfer bugs.
+	for steps := 0; len(work) > 0 && steps < 1000*n+1000; steps++ {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := a.in[b].clone()
+		for _, in := range a.CFG.Blocks[b].Insts {
+			a.step(out, in, nil)
+		}
+		for _, e := range a.CFG.Blocks[b].Succs {
+			if e.To < 0 {
+				continue
+			}
+			if !a.reached[e.To] {
+				a.in[e.To] = out.clone()
+				a.reached[e.To] = true
+				work = append(work, e.To)
+				continue
+			}
+			j := a.join(a.in[e.To], out)
+			if !j.equal(a.in[e.To]) {
+				a.in[e.To] = j
+				work = append(work, e.To)
+			}
+		}
+	}
+}
+
+// join merges two states at a control-flow merge point: taint unions,
+// constants meet (disagreement decays to not-a-constant), and tracked
+// memory cells union — a cell tracked on only one path unions with the
+// secret-range seed it would otherwise read as.
+func (a *Analysis) join(x, y *State) *State {
+	out := x.clone()
+	for r := 0; r < isa.NumRegs; r++ {
+		out.Regs[r] |= y.Regs[r]
+		if !x.Const[r].known || !y.Const[r].known || x.Const[r].v != y.Const[r].v {
+			out.Const[r] = constVal{}
+		}
+	}
+	out.Flags |= y.Flags
+	out.UnknownStore |= y.UnknownStore
+	for k, v := range y.Mem {
+		if xv, ok := out.Mem[k]; ok {
+			out.Mem[k] = xv | v
+		} else {
+			out.Mem[k] = v | a.rangeSeed(k, 8)
+		}
+	}
+	for k := range x.Mem {
+		if _, ok := y.Mem[k]; !ok {
+			out.Mem[k] |= a.rangeSeed(k, 8)
+		}
+	}
+	return out
+}
+
+// rangeSeed returns the definite-secret bits of ranges overlapping the
+// access [addr, addr+size).
+func (a *Analysis) rangeSeed(addr uint64, size int) taintSet {
+	var t taintSet
+	for i, r := range a.Spec.SecretRanges {
+		if r.Contains(addr, size) {
+			t |= a.rangeDef[i]
+		}
+	}
+	return t
+}
+
+// loadHook lets the gadget checkers inject fresh taint at load sites
+// (the transient-window semantics); whole-program analysis passes nil.
+type loadHook func(in *isa.Inst) taintSet
+
+// loadTaint computes the taint of a load's result.
+func (a *Analysis) loadTaint(st *State, in *isa.Inst, size int, hook loadHook) taintSet {
+	var t taintSet
+	if hook != nil {
+		t |= hook(in)
+	}
+	if c := st.Const[in.Src&0x0F]; c.known {
+		addr := uint64(c.v + in.Imm)
+		if mv, ok := st.Mem[addr]; ok {
+			t |= mv
+		} else {
+			t |= a.rangeSeed(addr, size)
+		}
+		return t
+	}
+	// Unresolved address: the load may observe any declared secret
+	// range, any unresolved store, and any tracked cell.
+	for i := range a.Spec.SecretRanges {
+		t |= a.rangeMay[i]
+	}
+	t |= st.UnknownStore | st.memUnion()
+	return t
+}
+
+// step applies one instruction's transfer function to st in place.
+func (a *Analysis) step(st *State, in *isa.Inst, hook loadHook) {
+	d := in.Dst & 0x0F
+	s := in.Src & 0x0F
+	switch in.Op {
+	case isa.MOVI:
+		st.Regs[d] = 0
+		st.Const[d] = constVal{known: true, v: in.Imm}
+	case isa.MOV:
+		st.Regs[d] = st.Regs[s]
+		st.Const[d] = st.Const[s]
+	case isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR, isa.SHL, isa.SHR:
+		if !in.HasImm && d == s && (in.Op == isa.XOR || in.Op == isa.SUB) {
+			// Zeroing idiom: the result is the constant 0 regardless of
+			// the operand — taint dies here (kill on overwrite).
+			st.Regs[d] = 0
+			st.Const[d] = constVal{known: true, v: 0}
+			return
+		}
+		if in.HasImm {
+			st.Const[d] = foldConst(in.Op, st.Const[d], constVal{known: true, v: in.Imm})
+		} else {
+			st.Regs[d] |= st.Regs[s]
+			st.Const[d] = foldConst(in.Op, st.Const[d], st.Const[s])
+		}
+	case isa.CMP, isa.TEST:
+		st.Flags = st.Regs[d]
+		if !in.HasImm {
+			st.Flags |= st.Regs[s]
+		}
+	case isa.LOAD:
+		st.Regs[d] = a.loadTaint(st, in, 8, hook)
+		st.Const[d] = constVal{}
+	case isa.LOADB:
+		st.Regs[d] = a.loadTaint(st, in, 1, hook)
+		st.Const[d] = constVal{}
+	case isa.STORE, isa.STOREB:
+		// Dst holds the stored value, Src the base register.
+		if c := st.Const[s]; c.known {
+			st.Mem[uint64(c.v+in.Imm)] = st.Regs[d] // strong update
+		} else {
+			st.UnknownStore |= st.Regs[d]
+		}
+	case isa.RDTSC:
+		// Overwrites Dst with the cycle counter: kill.
+		st.Regs[d] = 0
+		st.Const[d] = constVal{}
+	case isa.CALL, isa.CALLI, isa.SYSCALL:
+		// Return-address push; the guest stack is not modelled.
+	}
+}
+
+// foldConst evaluates an ALU op over the constant lattice.
+func foldConst(op isa.Op, x, y constVal) constVal {
+	if !x.known || !y.known {
+		return constVal{}
+	}
+	switch op {
+	case isa.ADD:
+		return constVal{known: true, v: x.v + y.v}
+	case isa.SUB:
+		return constVal{known: true, v: x.v - y.v}
+	case isa.AND:
+		return constVal{known: true, v: x.v & y.v}
+	case isa.OR:
+		return constVal{known: true, v: x.v | y.v}
+	case isa.XOR:
+		return constVal{known: true, v: x.v ^ y.v}
+	case isa.SHL:
+		return constVal{known: true, v: x.v << (uint64(y.v) & 63)}
+	case isa.SHR:
+		return constVal{known: true, v: int64(uint64(x.v) >> (uint64(y.v) & 63))}
+	default:
+		return constVal{}
+	}
+}
+
+// StateBefore recomputes the dataflow state immediately before the
+// instruction at addr (from its block's fixpoint in-state). It returns
+// nil when addr is unmapped or its block was never reached.
+func (a *Analysis) StateBefore(addr uint64) *State {
+	b := a.CFG.BlockOf(addr)
+	if b == nil || !a.reached[b.Index] {
+		return nil
+	}
+	st := a.in[b.Index].clone()
+	for _, in := range b.Insts {
+		if in.Addr == addr {
+			return st
+		}
+		a.step(st, in, nil)
+	}
+	return nil
+}

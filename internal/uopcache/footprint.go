@@ -1,0 +1,182 @@
+package uopcache
+
+import (
+	"fmt"
+	"sort"
+
+	"deaduops/internal/asm"
+	"deaduops/internal/isa"
+)
+
+// PlanFunc decodes the in-order macro-ops of one region fetch into the
+// trace-builder groups (macro-fusion applied). The decode package's
+// Macros constructor is the canonical implementation; taking it as a
+// parameter keeps this package below decode in the import graph.
+type PlanFunc func(insts []*isa.Inst) []MacroUops
+
+// SetIndexOf returns the physical set index addr maps to in
+// single-thread, unpartitioned operation (bits IndexLoBit and up of the
+// region base address).
+func (c Config) SetIndexOf(addr uint64) int {
+	return int(addr>>c.IndexLoBit) & (c.Sets - 1)
+}
+
+// RegionFootprint is the predicted occupancy of one (region, entry)
+// trace under the placement rules.
+type RegionFootprint struct {
+	Region uint64 // region base address
+	Entry  uint8  // entry offset within the region
+	Set    int    // physical set (single-thread mapping)
+	Ways   int    // lines the trace occupies
+	Uops   int    // micro-ops across those lines
+	// Cacheable is false when the placement rules reject the region;
+	// such code is delivered by MITE on every fetch, which is itself
+	// observable through the DSB/MITE timing contract.
+	Cacheable bool
+	Reason    string // why, when !Cacheable
+}
+
+// FootprintResult is the static micro-op cache occupancy of a code
+// range or path: which sets it fills and with how many ways.
+type FootprintResult struct {
+	Regions []RegionFootprint
+	// Sets maps physical set index → total ways occupied there.
+	Sets map[int]int
+	// Uncacheable counts regions rejected by the placement rules.
+	Uncacheable int
+}
+
+// TotalWays sums way occupancy across sets.
+func (f *FootprintResult) TotalWays() int {
+	n := 0
+	for _, w := range f.Sets {
+		n += w
+	}
+	return n
+}
+
+// SetList returns the occupied set indices in ascending order.
+func (f *FootprintResult) SetList() []int {
+	out := make([]int, 0, len(f.Sets))
+	for s := range f.Sets {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Equal reports whether two footprints occupy identical sets with
+// identical way counts and agree on uncacheable regions.
+func (f *FootprintResult) Equal(g *FootprintResult) bool {
+	if len(f.Sets) != len(g.Sets) || f.Uncacheable != g.Uncacheable {
+		return false
+	}
+	for s, w := range f.Sets {
+		if g.Sets[s] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// String summarizes the footprint.
+func (f *FootprintResult) String() string {
+	return fmt.Sprintf("footprint{%d regions, %d sets, %d ways, %d uncacheable}",
+		len(f.Regions), len(f.Sets), f.TotalWays(), f.Uncacheable)
+}
+
+// Range is a half-open address interval [Start, End).
+type Range struct {
+	Start, End uint64
+}
+
+// Footprint computes the set/way occupancy of the instruction range
+// [start, end) of prog under cfg's placement rules, as if fetch entered
+// at start and streamed sequentially. The range is segmented the way
+// the fetch engine segments it: a new trace begins at every region
+// boundary, after every unconditional jump, and after every unmapped
+// gap; each segment's trace is built with BuildTrace and charged to the
+// region's set. plan supplies the decoded macro-op groups (use
+// decode.Macros for the modelled pipeline).
+func Footprint(cfg Config, prog *asm.Program, start, end uint64, plan PlanFunc) FootprintResult {
+	return FootprintRanges(cfg, prog, []Range{{start, end}}, plan)
+}
+
+// FootprintRanges is Footprint over several disjoint ranges (the fetch
+// segments of one control-flow path), merging the per-set occupancy.
+// A (region, entry) trace is counted once even if ranges revisit it.
+func FootprintRanges(cfg Config, prog *asm.Program, ranges []Range, plan PlanFunc) FootprintResult {
+	res := FootprintResult{Sets: make(map[int]int)}
+	regionSize := cfg.RegionSize()
+	seen := make(map[[2]uint64]bool) // (region, entry) traces counted
+
+	for _, r := range ranges {
+		pc := r.Start
+		for pc < r.End {
+			in := prog.At(pc)
+			if in == nil {
+				// Unmapped gap: resume at the next mapped instruction
+				// inside the range, which starts a fresh segment.
+				pc = nextMapped(prog, pc, r.End)
+				continue
+			}
+			region := pc &^ (regionSize - 1)
+			regionEnd := region + regionSize
+			segStart := pc
+
+			// Collect the segment: sequential macro-ops until the range
+			// or region ends, an unconditional jump terminates the
+			// trace, or the image has a gap.
+			var insts []*isa.Inst
+			for pc < r.End && pc < regionEnd {
+				in = prog.At(pc)
+				if in == nil {
+					break
+				}
+				insts = append(insts, in)
+				pc = in.End()
+				if in.IsUncondJump() {
+					break
+				}
+			}
+			if len(insts) == 0 {
+				break
+			}
+			key := [2]uint64{region, segStart - region}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+
+			t := BuildTrace(cfg, region, uint8(segStart-region), plan(insts))
+			rf := RegionFootprint{
+				Region:    region,
+				Entry:     uint8(segStart - region),
+				Set:       cfg.SetIndexOf(region),
+				Cacheable: t.Cacheable,
+				Reason:    t.Reason,
+			}
+			if t.Cacheable {
+				rf.Ways = len(t.Lines)
+				rf.Uops = t.TotalUops
+				res.Sets[rf.Set] += rf.Ways
+			} else {
+				res.Uncacheable++
+			}
+			res.Regions = append(res.Regions, rf)
+		}
+	}
+	return res
+}
+
+// nextMapped returns the address of the first mapped instruction in
+// (pc, end), or end when none exists. Gaps come from asm.Org and are
+// short in practice; the walk is bounded by the range.
+func nextMapped(prog *asm.Program, pc, end uint64) uint64 {
+	for a := pc + 1; a < end; a++ {
+		if prog.At(a) != nil {
+			return a
+		}
+	}
+	return end
+}

@@ -1,0 +1,89 @@
+package victim
+
+import "deaduops/internal/asm"
+
+// Fixture is one fully linked victim program, ready for static
+// analysis or simulation. The fixtures are the canonical corpus the
+// linter (cmd/uoplint) and the census scanner (cmd/gadgetscan) gate:
+// programs this repository itself ships as attack targets.
+type Fixture struct {
+	Name        string
+	Description string
+	Prog        *asm.Program
+	Layout      Layout
+}
+
+// FixtureOrg is the code origin the fixtures assemble at.
+const FixtureOrg = 0x20000
+
+// Fixtures assembles the canonical victim corpus under l.
+func Fixtures(l Layout) []Fixture {
+	return []Fixture{
+		{
+			Name:        "bounds-check",
+			Description: "Listing 4: Spectre-v1 style bounds-check victim",
+			Prog:        buildBoundsCheck(l),
+			Layout:      l,
+		},
+		{
+			Name:        "pci-vpd",
+			Description: "§VI-A pci_vpd_find_tag-style victim: transient read + secret-dependent branch",
+			Prog:        BuildPCIVPD(l),
+			Layout:      l,
+		},
+		{
+			Name:        "indirect-call",
+			Description: "Listing 5: authorization-check victim with secret-indexed indirect call",
+			Prog:        buildIndirectCall(l),
+			Layout:      l,
+		},
+	}
+}
+
+func buildBoundsCheck(l Layout) *asm.Program {
+	b := asm.New(FixtureOrg)
+	BoundsCheckVictim(b, l)
+	return b.MustBuild()
+}
+
+// BuildPCIVPD assembles the pci_vpd_find_tag-style gadget with its two
+// tag handlers linked in. The handlers land in distinct 32-byte code
+// regions with different sizes, so the two sides of the tag branch
+// have genuinely different micro-op cache footprints — the property
+// the paper's §VI-A attack observes and the static divergence checker
+// must flag. Exported because the differential validation test drives
+// this exact program through the cycle-level front end: the "main"
+// harness calls the routine once and halts, so a simulator run and the
+// linted program share every address.
+func BuildPCIVPD(l Layout) *asm.Program {
+	b := asm.New(FixtureOrg)
+	b.Label("main")
+	b.Call("vpd_find_tag")
+	b.Halt()
+	b.Align(64)
+	PCIVPDStyleGadget(b, l)
+	// Small-tag handler: one region, a single line of work.
+	b.Align(64)
+	b.Label("vpd_small")
+	b.Movi(RegRet, 1)
+	b.Ret()
+	// Large-tag handler: placed in different regions with a larger
+	// body, so its set/way occupancy diverges from vpd_small's.
+	b.Align(64)
+	b.Org(b.PC() + 0x140) // skew the region mapping away from vpd_small
+	b.Label("vpd_large")
+	b.Movi(RegRet, 2)
+	b.Addi(RegRet, 40)
+	b.Nop(8)
+	b.Nop(8)
+	b.Nop(8)
+	b.Nop(8)
+	b.Ret()
+	return b.MustBuild()
+}
+
+func buildIndirectCall(l Layout) *asm.Program {
+	b := asm.New(FixtureOrg)
+	IndirectCallVictim(b, l, NoFence)
+	return b.MustBuild()
+}
