@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: build test race vet lint check
+# FUZZTIME bounds each fuzz target in the smoke run; raise it locally
+# for a real fuzzing session (e.g. make fuzz FUZZTIME=10m).
+FUZZTIME ?= 10s
+
+.PHONY: build test race vet lint fuzz check
 
 build:
 	$(GO) build ./...
@@ -15,8 +19,18 @@ vet:
 	$(GO) vet ./...
 
 # lint runs the static front-end leakage analyzer over the victim
-# corpus and asserts the canonical expectations (exit 1 on mismatch).
+# corpus and the codegen-emitted attack probes, asserting the canonical
+# expectations (exit 1 on mismatch).
 lint:
 	$(GO) run ./cmd/uoplint -selftest
 
+# fuzz runs every native fuzz target for FUZZTIME each: the assembler
+# and legacy-decode invariants, and the differential leakage-prediction
+# contract (predicted vs simulator-measured refill deltas).
+fuzz:
+	$(GO) test ./internal/asm -fuzz FuzzAssemble -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/decode -fuzz FuzzPlanRegion -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/staticlint/difftest -fuzz FuzzPredictedDelta -fuzztime $(FUZZTIME)
+
 check: build vet test race lint
+	$(MAKE) fuzz FUZZTIME=5s

@@ -23,6 +23,8 @@ import (
 	"io"
 	"os"
 
+	"deaduops/internal/asm"
+	"deaduops/internal/attack"
 	"deaduops/internal/ref"
 	"deaduops/internal/staticlint"
 	"deaduops/internal/victim"
@@ -76,6 +78,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Findings:    r.Findings,
 		})
 	}
+	// The codegen-emitted attack probes are linted alongside the victim
+	// fixtures: tigers and zebras carry no secrets, so a finding on one
+	// would be a checker false positive — the selftest pins them clean.
+	probes, err := attackPrograms()
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	for _, ap := range probes {
+		if *fixture != "" && ap.name != *fixture {
+			continue
+		}
+		matched = true
+		r := staticlint.Lint(ap.prog, staticlint.Spec{}, cfg).Filter(min)
+		reports = append(reports, programReport{
+			Program:     ap.name,
+			Description: ap.desc,
+			Findings:    r.Findings,
+		})
+	}
 	if *fixture != "" && !matched {
 		fmt.Fprintf(stderr, "uoplint: unknown fixture %q\n", *fixture)
 		return 2
@@ -103,6 +125,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintf(stderr, "uoplint: selftest: %s\n", m)
 			}
 			return 1
+		}
+		if *asJSON {
+			// -selftest -json emits the asserted reports (the CI
+			// artifact form) instead of the one-line status.
+			enc := json.NewEncoder(stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(reports); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			return 0
 		}
 		fmt.Fprintln(stdout, "uoplint: selftest ok")
 		return 0
@@ -143,6 +176,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "\n%d findings across %d programs\n", total, len(reports))
 	return 0
+}
+
+// attackProgram is one codegen-emitted probe routine to lint.
+type attackProgram struct {
+	name, desc string
+	prog       *asm.Program
+}
+
+// attackPrograms builds the three §IV probe flavours — tiger, fast
+// tiger, zebra — exactly as the dynamic attack code does
+// (internal/attack on internal/codegen chains). They hold no secrets
+// and no secret-dependent control flow, so every checker must stay
+// silent on them; CI asserts that through the selftest.
+func attackPrograms() ([]attackProgram, error) {
+	g := attack.DefaultGeometry()
+	specs := []struct {
+		name, desc string
+		build      func() (*attack.Routine, error)
+	}{
+		{"attack-tiger", "codegen tiger probe (LCP-padded prime+probe receiver)",
+			func() (*attack.Routine, error) { return attack.Build(attack.Tiger(0x40000, g, "tiger")) }},
+		{"attack-fasttiger", "codegen fast-tiger probe (dense low-latency receiver)",
+			func() (*attack.Routine, error) { return attack.Build(attack.FastTiger(0x40000, g, "fasttiger")) }},
+		{"attack-zebra", "codegen zebra probe (alternate-set occupancy pattern)",
+			func() (*attack.Routine, error) { return attack.Build(attack.Zebra(0x40000, g, "zebra")) }},
+	}
+	var out []attackProgram
+	for _, s := range specs {
+		r, err := s.build()
+		if err != nil {
+			return nil, fmt.Errorf("uoplint: building %s: %w", s.name, err)
+		}
+		out = append(out, attackProgram{name: s.name, desc: s.desc, prog: r.Prog})
+	}
+	return out, nil
 }
 
 // victimSpec declares the secrets of the shared victim layout: the
@@ -194,5 +262,42 @@ func selfTest(reports []programReport) []string {
 	expect("bounds-check", "secret-dependent-branch", true)
 	expect("bounds-check", "spectre-v1-gadget", false)
 	expect("indirect-call", "secret-dependent-branch", true)
+	// The codegen-emitted probe routines carry no secrets: any finding
+	// on them is a false positive.
+	for _, probe := range []string{"attack-tiger", "attack-fasttiger", "attack-zebra"} {
+		seen := false
+		for _, pr := range reports {
+			if pr.Program != probe {
+				continue
+			}
+			seen = true
+			for _, f := range pr.Findings {
+				msgs = append(msgs, fmt.Sprintf("%s: unexpected %s finding (probes hold no secrets)", probe, f.Checker))
+			}
+		}
+		if !seen {
+			msgs = append(msgs, fmt.Sprintf("%s: probe program missing from lint corpus", probe))
+		}
+	}
+	// Every divergence finding must carry the quantifier's path costs:
+	// positive cold cycles per direction and a warm cost not exceeding
+	// the cold one (the refill delta the receiver probes for).
+	for _, pr := range reports {
+		for _, f := range pr.Findings {
+			if f.Checker != "dsb-footprint-divergence" {
+				continue
+			}
+			if f.TakenCost == nil || f.FallCost == nil {
+				msgs = append(msgs, fmt.Sprintf("%s: divergence finding at %#x lacks path costs", pr.Program, f.Addr))
+				continue
+			}
+			for dir, c := range map[string]*staticlint.PathCost{"taken": f.TakenCost, "fallthrough": f.FallCost} {
+				if c.ColdCycles <= 0 || c.WarmCycles <= 0 || c.ColdCycles < c.WarmCycles {
+					msgs = append(msgs, fmt.Sprintf("%s: divergence at %#x has implausible %s cost (warm %d, cold %d)",
+						pr.Program, f.Addr, dir, c.WarmCycles, c.ColdCycles))
+				}
+			}
+		}
+	}
 	return msgs
 }

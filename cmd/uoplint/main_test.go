@@ -64,6 +64,59 @@ func TestGoldenPCIVPD(t *testing.T) {
 			t.Errorf("pci-vpd golden lacks a %s finding", want)
 		}
 	}
+
+	// The divergence findings must carry the leakage quantifier's
+	// numbers: per-direction path costs and the signed probe delta.
+	for _, field := range []string{
+		`"taken_cost"`, `"fallthrough_cost"`,
+		`"refill_delta_cycles"`, `"predicted_probe_delta_cycles"`,
+	} {
+		if !bytes.Contains(got, []byte(field)) {
+			t.Errorf("pci-vpd golden lacks quantifier field %s", field)
+		}
+	}
+}
+
+// TestAttackProbesClean pins the codegen-emitted probe routines free of
+// findings: tigers and zebras hold no secrets, so anything the linter
+// reports on them is a false positive.
+func TestAttackProbesClean(t *testing.T) {
+	for _, name := range []string{"attack-tiger", "attack-fasttiger", "attack-zebra"} {
+		got := runJSON(t, name)
+		var pr struct {
+			Findings []json.RawMessage `json:"findings"`
+		}
+		if err := json.Unmarshal(got, &pr); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(pr.Findings) != 0 {
+			t.Errorf("%s: %d unexpected finding(s):\n%s", name, len(pr.Findings), got)
+		}
+	}
+}
+
+// TestSelftestJSON checks the CI artifact mode: -selftest -json runs
+// the assertions and emits the full report set on success.
+func TestSelftestJSON(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-selftest", "-json"}, &out, &errb); code != 0 {
+		t.Fatalf("selftest -json failed (%d): %s", code, errb.String())
+	}
+	var reports []struct {
+		Program string `json:"program"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &reports); err != nil {
+		t.Fatalf("selftest -json output not JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, r := range reports {
+		names[r.Program] = true
+	}
+	for _, want := range []string{"pci-vpd", "bounds-check", "attack-tiger", "attack-zebra"} {
+		if !names[want] {
+			t.Errorf("selftest -json output missing program %q", want)
+		}
+	}
 }
 
 func TestGoldenBoundsCheck(t *testing.T) {

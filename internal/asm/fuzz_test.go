@@ -1,0 +1,105 @@
+package asm
+
+import (
+	"fmt"
+	"testing"
+
+	"deaduops/internal/isa"
+)
+
+// FuzzAssemble drives the Builder with an arbitrary byte-coded script
+// and holds every successfully built program to its invariants:
+// instructions laid out in strictly increasing, non-overlapping
+// addresses, every instruction findable through Program.At, and every
+// label-fixed jump resolved to a bound label address. Builds may
+// legitimately fail (backward org, bad lengths never emitted here, …)
+// — the contract under fuzz is "error or consistent program", never a
+// panic or a silently inconsistent image.
+func FuzzAssemble(f *testing.F) {
+	f.Add([]byte{0x00, 0x05, 0x01, 0x03, 0x08, 0x02})       // nops + jump
+	f.Add([]byte{0x06, 0x20, 0x00, 0x0f, 0x07, 0x05})       // align/org play
+	f.Add([]byte{0x09, 0x00, 0x04, 0x01, 0x05, 0x30, 0x08}) // labels + branches
+	f.Add([]byte{0x0a, 0x08, 0x0a, 0xc8})                   // msrom
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b := New(0x1000)
+		labels := 0
+		referenced := map[string]bool{}
+		for i := 0; i+1 < len(data) && i < 64; i += 2 {
+			op, arg := data[i]%12, data[i+1]
+			switch op {
+			case 0:
+				b.Nop(1 + int(arg%15))
+			case 1:
+				b.NopLCP(1 + int(arg%15))
+			case 2:
+				b.Movi(isa.R1, int64(arg))
+			case 3:
+				b.Movi64(isa.R2, int64(arg))
+			case 4:
+				b.Cmpi(isa.R1, int64(arg))
+			case 5:
+				// Branch to a label defined later (forward fixup).
+				l := fmt.Sprintf("L%d", arg%4)
+				referenced[l] = true
+				b.Jcc(isa.NE, l)
+			case 6:
+				b.Align(1 << (arg % 7))
+			case 7:
+				b.Org(b.PC() + uint64(arg))
+			case 8:
+				l := fmt.Sprintf("L%d", arg%4)
+				referenced[l] = true
+				b.JmpShort(l)
+			case 9:
+				l := fmt.Sprintf("L%d", labels%4)
+				if _, bound := b.labels[l]; !bound {
+					b.Label(l)
+				}
+				labels++
+			case 10:
+				b.Msrom(5 + int(arg)%196)
+			case 11:
+				b.Loadb(isa.R3, isa.R1, int64(arg))
+			}
+		}
+		// Bind any labels the script referenced but never defined, so
+		// fixup resolution itself stays on the success path.
+		for l := range referenced {
+			if _, bound := b.labels[l]; !bound {
+				b.Label(l)
+			}
+		}
+		b.Halt()
+
+		p, err := b.Build()
+		if err != nil {
+			return // rejected scripts are fine; panics are not
+		}
+		var prev *isa.Inst
+		for _, in := range p.Insts {
+			if in.Len < 1 || in.Len > 15 {
+				t.Fatalf("instruction %v has length %d", in, in.Len)
+			}
+			if prev != nil && in.Addr < prev.End() {
+				t.Fatalf("overlap: %v (ends %#x) then %v", prev, prev.End(), in)
+			}
+			if got := p.At(in.Addr); got != in {
+				t.Fatalf("At(%#x) = %v, want %v", in.Addr, got, in)
+			}
+			prev = in
+		}
+		bound := map[uint64]bool{}
+		for l := range referenced {
+			addr, ok := p.Label(l)
+			if !ok {
+				t.Fatalf("referenced label %q lost during Build", l)
+			}
+			bound[addr] = true
+		}
+		for _, in := range p.Insts {
+			if (in.Op == isa.JCC || in.Op == isa.JMP) && !bound[uint64(in.Imm)] {
+				t.Fatalf("%v resolved to %#x, which is no bound label", in, in.Imm)
+			}
+		}
+	})
+}

@@ -38,6 +38,12 @@ type ChainSpec struct {
 	NopPerRegion int
 	NopLen       int
 	LCP          bool
+	// MsromUops, when nonzero, inserts one microcoded macro-op of that
+	// many micro-ops between the NOPs and the jump of every region. An
+	// MSROM macro-op consumes a whole micro-op cache line and streams
+	// from the sequencer under legacy decode — the other
+	// decode-latency amplifier besides LCP.
+	MsromUops int
 	// Label prefixes the generated labels, letting several chains
 	// coexist in one builder.
 	Label string
@@ -60,21 +66,31 @@ func (s *ChainSpec) Validate() error {
 	if s.NopPerRegion < 0 {
 		return fmt.Errorf("codegen: negative nop count %d", s.NopPerRegion)
 	}
-	if s.NopPerRegion > 0 {
-		if s.NopLen < 1 || s.NopLen > 15 {
-			return fmt.Errorf("codegen: bad nop shape %d×%d", s.NopPerRegion, s.NopLen)
-		}
-		if s.NopPerRegion*s.NopLen+2 > RegionSize {
-			return fmt.Errorf("codegen: region body %d bytes exceeds %d",
-				s.NopPerRegion*s.NopLen+2, RegionSize)
-		}
+	if s.NopPerRegion > 0 && (s.NopLen < 1 || s.NopLen > 15) {
+		return fmt.Errorf("codegen: bad nop shape %d×%d", s.NopPerRegion, s.NopLen)
+	}
+	if s.MsromUops != 0 && (s.MsromUops < 5 || s.MsromUops > 200) {
+		return fmt.Errorf("codegen: bad msrom µop count %d (want 0 or 5..200)", s.MsromUops)
+	}
+	if body := s.regionBodyBytes(); body > RegionSize {
+		return fmt.Errorf("codegen: region body %d bytes exceeds %d", body, RegionSize)
 	}
 	return nil
 }
 
-// UopsPerRegion returns the micro-op count of each region (NOPs plus
-// the jump).
-func (s *ChainSpec) UopsPerRegion() int { return s.NopPerRegion + 1 }
+// regionBodyBytes returns the encoded size of one region: NOPs, the
+// optional MSROM macro-op (3 bytes), and the 2-byte terminating jump.
+func (s *ChainSpec) regionBodyBytes() int {
+	body := s.NopPerRegion*s.NopLen + 2
+	if s.MsromUops > 0 {
+		body += 3
+	}
+	return body
+}
+
+// UopsPerRegion returns the micro-op count of each region (NOPs, the
+// optional MSROM macro-op, plus the jump).
+func (s *ChainSpec) UopsPerRegion() int { return s.NopPerRegion + s.MsromUops + 1 }
 
 // Regions returns the number of regions in the chain.
 func (s *ChainSpec) Regions() int { return len(s.Sets) * s.Ways }
@@ -136,6 +152,9 @@ func (s *ChainSpec) Emit(b *asm.Builder, exitLabel string) error {
 			} else {
 				b.Nop(s.NopLen)
 			}
+		}
+		if s.MsromUops > 0 {
+			b.Msrom(s.MsromUops)
 		}
 		b.JmpShort(r.next)
 	}

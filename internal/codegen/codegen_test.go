@@ -179,3 +179,46 @@ func TestSequentialRejectsUnencodable(t *testing.T) {
 		t.Error("loop start not region-aligned")
 	}
 }
+
+func TestChainMsromEmission(t *testing.T) {
+	// A chain with MsromUops set must place exactly one microcoded
+	// macro-op of that µop count in every region, and the geometry
+	// helpers must price it into the per-traversal µop total.
+	s := &ChainSpec{Base: 0x10000, Sets: []int{2, 9}, Ways: 2,
+		NopPerRegion: 1, NopLen: 4, MsromUops: 8, Label: "m"}
+	if got, want := s.UopsPerRegion(), 1+8+1; got != want {
+		t.Errorf("UopsPerRegion = %d, want %d", got, want)
+	}
+	if got, want := s.TotalUops(), 4*(1+8+1); got != want {
+		t.Errorf("TotalUops = %d, want %d", got, want)
+	}
+	prog, err := s.LoopProgram(0x8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perRegion := map[uint64]int{}
+	for _, in := range prog.Insts {
+		if in.Op != isa.MSROMOP {
+			continue
+		}
+		if in.UopCount != 8 {
+			t.Errorf("msrom at %#x has UopCount %d, want 8", in.Addr, in.UopCount)
+		}
+		perRegion[in.Addr &^ uint64(RegionSize-1)]++
+	}
+	if len(perRegion) != s.Regions() {
+		t.Fatalf("msrom ops span %d regions, want %d", len(perRegion), s.Regions())
+	}
+	for addr, n := range perRegion {
+		if n != 1 {
+			t.Errorf("region %#x holds %d msrom ops, want 1", addr, n)
+		}
+	}
+	// The chain must still execute end to end.
+	c := cpu.New(cpu.Intel())
+	c.LoadProgram(prog)
+	c.SetReg(0, isa.R14, 2)
+	if res := c.Run(0, prog.Entry, 1_000_000); res.TimedOut {
+		t.Error("msrom chain timed out")
+	}
+}

@@ -1,0 +1,134 @@
+package decode
+
+import (
+	"deaduops/internal/isa"
+	"deaduops/internal/uopcache"
+)
+
+// CostTable is the single source of front-end delivery-cost parameters
+// shared between the cycle-level simulator (internal/frontend) and the
+// static leakage quantifier (internal/staticlint). Both sides price a
+// fetch with the same numbers, so the predictor and the model cannot
+// drift apart on constants — the contract the differential harness
+// (internal/staticlint/difftest) continuously re-checks.
+type CostTable struct {
+	// Decode supplies the legacy-pipeline schedule (predecode window,
+	// LCP penalty, decoder widths, MSROM rate, macro-fusion).
+	Decode Config
+	// Cache supplies the placement rules, the DSB stream width, and the
+	// DSB→MITE switch penalty.
+	Cache uopcache.Config
+	// DrainWidth caps sustained micro-op consumption at the backend's
+	// dispatch width: a DSB stream wider than the backend drains only
+	// fills the IDQ, so steady-state warm delivery is drain-bound.
+	// Zero leaves warm delivery capped by the stream width alone.
+	DrainWidth int
+	// DrainLag is the pipeline-depth surcharge a drain-bound run pays:
+	// the retire stream trails dispatch by the machine's fill depth, so
+	// a warm run whose critical path is the backend ends that many
+	// cycles after the drain bound alone predicts. A fetch-bound (cold)
+	// run hides the same depth inside its delivery schedule, so the lag
+	// appears only on the warm side of a refill delta. The value is
+	// calibrated against the cycle-level pipeline and continuously
+	// re-validated by internal/staticlint/difftest.
+	DrainLag int
+}
+
+// NewCostTable builds the shared table from the two model configs.
+func NewCostTable(d Config, u uopcache.Config) CostTable {
+	return CostTable{Decode: d, Cache: u}
+}
+
+// SwitchPenalty returns the DSB→MITE transition stall in cycles.
+func (t CostTable) SwitchPenalty() int { return t.Cache.SwitchPenalty }
+
+// StreamWidth returns the DSB delivery rate in µops per cycle.
+func (t CostTable) StreamWidth() int { return t.Cache.StreamWidth }
+
+// RegionCost prices one fetch segment — the macro-ops of a single
+// (region, entry) micro-op cache trace.
+type RegionCost struct {
+	// Uops is the decoded micro-op count of the segment.
+	Uops int
+	// ColdCycles is the front-end cost of fetching the segment with its
+	// trace absent from the micro-op cache: one fetch cycle to probe
+	// the DSB and plan the legacy schedule, the DSB→MITE switch
+	// penalty, then one cycle per schedule slot (predecode and LCP
+	// stalls appear as empty slots).
+	ColdCycles int
+	// WarmCycles is the front-end cost of streaming the segment's trace
+	// out of the micro-op cache (uops at the DSB stream width). For an
+	// uncacheable segment it equals ColdCycles: MITE delivers it on
+	// every traversal.
+	WarmCycles int
+	// LCPStallCycles and MSROMUops break out the MITE amplifiers
+	// contributing to ColdCycles.
+	LCPStallCycles int
+	MSROMUops      int
+	// Cacheable is false when the placement rules reject the region
+	// (Reason says why); such a segment has no hit/miss asymmetry.
+	Cacheable bool
+	Reason    string
+}
+
+// RefillDelta is the per-traversal probe-cycle penalty of finding this
+// segment's trace evicted: the quantity a prime+probe receiver times.
+func (c RegionCost) RefillDelta() int { return c.ColdCycles - c.WarmCycles }
+
+// Region prices the fetch segment insts entered at region+entry. The
+// schedule comes from PlanRegion — the very object the simulator
+// executes slot by slot on a miss — so the cold cost is the modelled
+// miss cost, not an approximation of it.
+func (t CostTable) Region(region uint64, entry uint8, insts []*isa.Inst) RegionCost {
+	plan := PlanRegion(t.Decode, insts)
+	tr := uopcache.BuildTrace(t.Cache, region, entry, plan.Macros)
+	c := RegionCost{
+		Uops:           plan.TotalUops(),
+		ColdCycles:     1 + t.Cache.SwitchPenalty + plan.Cycles(),
+		LCPStallCycles: plan.LCPStalls,
+		MSROMUops:      plan.MSROMUops,
+		Cacheable:      tr.Cacheable,
+		Reason:         tr.Reason,
+	}
+	if c.Cacheable {
+		c.WarmCycles = t.StreamCycles(c.Uops)
+	} else {
+		c.WarmCycles = c.ColdCycles
+	}
+	return c
+}
+
+// StreamCycles returns the cycles the DSB needs to deliver uops µops
+// of one trace (delivery starts the same cycle the lookup hits).
+func (t CostTable) StreamCycles(uops int) int {
+	return ceilDiv(uops, t.Cache.StreamWidth)
+}
+
+// DrainCycles returns the backend-side lower bound on consuming uops
+// µops (zero when no DrainWidth is configured). Over a multi-segment
+// path the warm front end is bursty but the backend drains steadily,
+// so the path's warm cost is the max of the summed stream cycles and
+// this bound.
+func (t CostTable) DrainCycles(uops int) int {
+	if t.DrainWidth <= 0 {
+		return 0
+	}
+	return ceilDiv(uops, t.DrainWidth)
+}
+
+// DrainBound returns the full backend-side lower bound on a warm path
+// of uops µops: the drain cycles plus the pipeline-fill lag (zero when
+// no DrainWidth is configured).
+func (t CostTable) DrainBound(uops int) int {
+	if t.DrainWidth <= 0 {
+		return 0
+	}
+	return ceilDiv(uops, t.DrainWidth) + t.DrainLag
+}
+
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		b = 1
+	}
+	return (a + b - 1) / b
+}

@@ -39,6 +39,15 @@ func DefaultConfig() Config {
 	return Config{IDQCapacity: 64, Decode: decode.Skylake()}
 }
 
+// Costs returns the shared front-end delivery cost table for this
+// configuration over u's micro-op cache geometry. The fetch engine
+// charges its DSB→MITE switch penalty through this table, and the
+// static leakage quantifier (internal/staticlint) prices paths with
+// the same table — one source of truth for every cost constant.
+func (c Config) Costs(u uopcache.Config) decode.CostTable {
+	return decode.NewCostTable(c.Decode, u)
+}
+
 // lsdRec is one fetch group retained for loop detection.
 type lsdRec struct {
 	entry uint64
@@ -56,6 +65,7 @@ const (
 // FrontEnd is one hardware thread's fetch engine.
 type FrontEnd struct {
 	cfg    Config
+	costs  decode.CostTable
 	thread int
 	prog   *asm.Program
 	uc     *uopcache.Cache
@@ -96,6 +106,7 @@ type FrontEnd struct {
 func New(cfg Config, thread int, uc *uopcache.Cache, hier *mem.Hierarchy, bp *bpu.BPU, ctr *perfctr.Counters) *FrontEnd {
 	return &FrontEnd{
 		cfg:    cfg,
+		costs:  cfg.Costs(uc.Config()),
 		thread: thread,
 		uc:     uc,
 		hier:   hier,
@@ -555,9 +566,10 @@ func (f *FrontEnd) startFetch() bool {
 		// Treat as a miss and rebuild.
 	}
 
-	// DSB miss: one-cycle switch penalty, then the MITE schedule.
+	// DSB miss: the switch penalty from the shared cost table, then
+	// the MITE schedule.
 	f.ctr.Inc(perfctr.DSB2MITESwitches)
-	f.stallPen += f.uc.Config().SwitchPenalty
+	f.stallPen += f.costs.SwitchPenalty()
 	f.plan = decode.PlanRegion(f.cfg.Decode, g.insts)
 	f.planIdx = 0
 	f.planGroup = g

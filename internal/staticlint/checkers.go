@@ -102,6 +102,13 @@ type pathInfo struct {
 // address ranges touched. The walk stops at returns, indirect control
 // flow, HALT, system crossings, unmapped addresses, and revisits.
 func (a *Analysis) walkPath(start uint64, budget int) pathInfo {
+	return a.walkPathStop(start, 0, budget)
+}
+
+// walkPathStop is walkPath with an optional stop address: a nonzero
+// stop ends the walk when fetch reaches it (exclusive), so a caller
+// can bound a path at a branch of interest.
+func (a *Analysis) walkPathStop(start, stop uint64, budget int) pathInfo {
 	var p pathInfo
 	visited := make(map[uint64]bool)
 	pc := start
@@ -112,6 +119,10 @@ func (a *Analysis) walkPath(start uint64, budget int) pathInfo {
 		}
 	}
 	for i := 0; i < budget; i++ {
+		if stop != 0 && pc == stop {
+			closeRange(pc)
+			return p
+		}
 		in := a.Prog.At(pc)
 		if in == nil || visited[pc] {
 			closeRange(pc)
@@ -188,12 +199,23 @@ func (c FootprintDivergenceChecker) Check(a *Analysis) []Finding {
 		if sb.inst.Op != isa.JCC {
 			continue
 		}
-		taken := a.footprintOf(a.walkPath(uint64(sb.inst.Imm), a.Cfg.PathBudget))
-		fall := a.footprintOf(a.walkPath(sb.inst.End(), a.Cfg.PathBudget))
+		takenPath := a.walkPath(uint64(sb.inst.Imm), a.Cfg.PathBudget)
+		fallPath := a.walkPath(sb.inst.End(), a.Cfg.PathBudget)
+		taken := a.footprintOf(takenPath)
+		fall := a.footprintOf(fallPath)
 		if taken.Equal(&fall) {
 			continue
 		}
 		div := divergentSets(taken, fall)
+
+		// Quantify: price both successor paths with the shared cost
+		// table. The signed headline delta is the difference between
+		// the directions' refill penalties — what a receiver probing
+		// the divergent sets observes as the victim-side asymmetry.
+		takenCost := a.CostRanges(takenPath.Ranges)
+		fallCost := a.CostRanges(fallPath.Ranges)
+		delta := takenCost.RefillDelta - fallCost.RefillDelta
+
 		msg := fmt.Sprintf(
 			"secret-dependent branch %v: successor paths have divergent µop-cache footprints (%d set(s) differ)",
 			sb.inst, len(div))
@@ -201,16 +223,21 @@ func (c FootprintDivergenceChecker) Check(a *Analysis) []Finding {
 			msg += fmt.Sprintf("; uncacheable regions differ (%d vs %d, MITE-delivered)",
 				taken.Uncacheable, fall.Uncacheable)
 		}
+		msg += fmt.Sprintf("; predicted refill taken +%dc vs fallthrough +%dc (probe delta %+dc)",
+			takenCost.RefillDelta, fallCost.RefillDelta, delta)
 		out = append(out, Finding{
-			Checker:        c.Name(),
-			Severity:       SevError,
-			Conf:           sb.conf,
-			Addr:           sb.inst.Addr,
-			Message:        msg,
-			Sources:        a.sourceStrings(sb.taint),
-			TakenFootprint: occupancyList(taken),
-			FallFootprint:  occupancyList(fall),
-			DivergentSets:  div,
+			Checker:          c.Name(),
+			Severity:         SevError,
+			Conf:             sb.conf,
+			Addr:             sb.inst.Addr,
+			Message:          msg,
+			Sources:          a.sourceStrings(sb.taint),
+			TakenFootprint:   occupancyList(taken),
+			FallFootprint:    occupancyList(fall),
+			DivergentSets:    div,
+			TakenCost:        &takenCost,
+			FallCost:         &fallCost,
+			ProbeDeltaCycles: delta,
 		})
 	}
 	return out

@@ -1,0 +1,67 @@
+package staticlint
+
+import (
+	"testing"
+
+	"deaduops/internal/backend"
+	"deaduops/internal/frontend"
+	"deaduops/internal/uopcache"
+)
+
+// TestCostTableSharedWithFrontend pins the quantifier's one-source-of-
+// truth contract: the cost table staticlint prices paths with must be
+// the same table the cycle-level fetch engine charges its stalls
+// through, extended only by the backend drain parameters the front end
+// has no use for. If either side grows a constant of its own, the
+// difftest calibration silently rots — this test makes the drift loud.
+func TestCostTableSharedWithFrontend(t *testing.T) {
+	lint := DefaultConfig().Costs()
+	fe := frontend.DefaultConfig().Costs(uopcache.Skylake())
+
+	if lint.Decode != fe.Decode {
+		t.Errorf("decode configs diverge: lint %+v, frontend %+v", lint.Decode, fe.Decode)
+	}
+	if lint.Cache != fe.Cache {
+		t.Errorf("cache configs diverge: lint %+v, frontend %+v", lint.Cache, fe.Cache)
+	}
+	if lint.SwitchPenalty() != fe.SwitchPenalty() {
+		t.Errorf("switch penalty diverges: lint %d, frontend %d",
+			lint.SwitchPenalty(), fe.SwitchPenalty())
+	}
+	if lint.StreamWidth() != fe.StreamWidth() {
+		t.Errorf("stream width diverges: lint %d, frontend %d",
+			lint.StreamWidth(), fe.StreamWidth())
+	}
+
+	// The drain bound is the quantifier's extension: width comes from
+	// the live backend configuration, not a copied literal.
+	if want := backend.DefaultConfig().DispatchWidth; lint.DrainWidth != want {
+		t.Errorf("drain width %d, want backend dispatch width %d", lint.DrainWidth, want)
+	}
+	if lint.DrainLag != DefaultDrainLag {
+		t.Errorf("drain lag %d, want %d", lint.DrainLag, DefaultDrainLag)
+	}
+}
+
+// TestDrainBound pins the warm-run lower bound's arithmetic, including
+// the whole-run pipeline-fill lag that RunCost applies and CostRanges
+// (marginal path pricing) deliberately does not.
+func TestDrainBound(t *testing.T) {
+	ct := DefaultConfig().Costs()
+	for _, tc := range []struct {
+		uops, want int
+	}{
+		{0, DefaultDrainLag},
+		{1, 1 + DefaultDrainLag},
+		{4, 1 + DefaultDrainLag},
+		{5, 2 + DefaultDrainLag},
+		{40, 10 + DefaultDrainLag},
+	} {
+		if got := ct.DrainBound(tc.uops); got != tc.want {
+			t.Errorf("DrainBound(%d) = %d, want %d", tc.uops, got, tc.want)
+		}
+		if got, want := ct.DrainCycles(tc.uops), tc.want-DefaultDrainLag; got != want {
+			t.Errorf("DrainCycles(%d) = %d, want %d", tc.uops, got, want)
+		}
+	}
+}

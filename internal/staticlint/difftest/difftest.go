@@ -1,0 +1,405 @@
+// Package difftest is the differential validation harness for the
+// static leakage quantifier: it generates random secret-branching
+// victim programs with internal/codegen, prices both secret directions
+// with the static predictor (internal/staticlint), measures the same
+// probe-cycle deltas on the cycle-level simulator (internal/cpu), and
+// asserts that prediction and measurement agree in sign and within a
+// stated tolerance. Every victim is a miniature of the paper's §VI-A
+// pattern: a branch on a loaded secret byte whose two successor paths
+// are micro-op cache chains with different set/way footprints and
+// different legacy-decode amplification (plain NOPs, LCP NOPs, or an
+// MSROM macro-op per region).
+package difftest
+
+import (
+	"fmt"
+
+	"deaduops/internal/asm"
+	"deaduops/internal/codegen"
+	"deaduops/internal/cpu"
+	"deaduops/internal/isa"
+	"deaduops/internal/staticlint"
+	"deaduops/internal/uopcache"
+)
+
+const (
+	// SecretAddr holds the one secret byte a generated victim branches
+	// on; 0 steers the fall-through path, 1 the taken path.
+	SecretAddr = 0x9000
+
+	// entryBase is the (WayStride-aligned) address of the entry region:
+	// it loads the secret, compares it, pads, and ends with the
+	// secret-dependent JNE exactly at the 32-byte region boundary — so
+	// both directions share an identical entry trace and the static
+	// fetch segmentation matches the simulator's bit for bit.
+	entryBase = 0x10000
+	// takenBase hosts the taken-direction chain, clear of the
+	// fall-direction chain's largest possible span.
+	takenBase = entryBase + 0x8000
+	// exitAddr hosts the shared exit block both chains jump to.
+	exitAddr = takenBase + 0x8000
+
+	maxCycles = 200_000
+	trainRuns = 3
+)
+
+// Tolerance is the harness's acceptance contract: each direction's
+// predicted refill delta must lie within ±25% of the simulator's
+// measured delta (and both must be positive).
+const Tolerance = 0.25
+
+// Victim is one generated secret-branching program.
+type Victim struct {
+	Seed   uint64
+	Prog   *asm.Program
+	Entry  uint64
+	Branch uint64 // address of the secret-dependent JCC
+	// Taken and Fall are the chain shapes of the two directions.
+	Taken, Fall codegen.ChainSpec
+}
+
+// Spec declares the generated victims' secret byte.
+func Spec() staticlint.Spec {
+	return staticlint.Spec{
+		SecretRanges: []staticlint.MemRange{{Start: SecretAddr, End: SecretAddr + 1}},
+	}
+}
+
+// Config returns the analysis configuration the harness lints with:
+// the default Skylake model with a path budget covering the largest
+// generated chain.
+func Config() staticlint.Config {
+	cfg := staticlint.DefaultConfig()
+	cfg.PathBudget = 512
+	return cfg
+}
+
+// Cache geometry the generator respects, read off the lint
+// configuration so the two cannot drift.
+var (
+	cacheWays    = Config().UopCache.Ways
+	slotsPerLine = Config().UopCache.SlotsPerLine
+)
+
+// rng is splitmix64, the same deterministic generator internal/ref
+// uses, so fuzz corpus seeds reproduce exactly.
+type rng struct{ x uint64 }
+
+func (r *rng) next() uint64 {
+	r.x += 0x9E3779B97F4A7C15
+	z := r.x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// pickSets draws n distinct set indices from [lo, hi]; the first one
+// is fixed to first when first >= 0 (the fall chain must start in the
+// region the branch falls through into).
+func pickSets(r *rng, n, lo, hi, first int) []int {
+	used := make(map[int]bool)
+	var sets []int
+	if first >= 0 {
+		sets = append(sets, first)
+		used[first] = true
+	}
+	for len(sets) < n {
+		s := lo + r.intn(hi-lo+1)
+		if used[s] {
+			continue
+		}
+		used[s] = true
+		sets = append(sets, s)
+	}
+	return sets
+}
+
+// chainShape draws a random chain for one direction. Region bodies are
+// one of three amplification flavours: plain NOPs, LCP NOPs (the tiger
+// trick), or NOPs plus one MSROM macro-op; all shapes respect the
+// placement rules, so every region is cacheable. The way count is
+// capped so one set's regions never need more lines than the set has
+// ways — otherwise a trace stays partially filled forever (Fill cannot
+// evict the hot resident lines of the set's other regions mid-fill)
+// and the warm run would be MITE-contaminated.
+func chainShape(r *rng, base uint64, lo, hi, first int, label string) codegen.ChainSpec {
+	s := codegen.ChainSpec{Base: base, Label: label}
+	var lines int // DSB lines one region's trace occupies
+	switch r.intn(3) {
+	case 0: // plain NOPs
+		s.NopPerRegion = r.intn(14) // 0..13, ≤14 µops/region (3 lines)
+		s.NopLen = nopLen(r, s.NopPerRegion, codegen.RegionSize-2)
+		lines = ceilDiv(s.NopPerRegion+1, slotsPerLine)
+	case 1: // LCP NOPs: predecoder stall per macro-op
+		s.NopPerRegion = r.intn(14)
+		s.NopLen = nopLen(r, s.NopPerRegion, codegen.RegionSize-2)
+		s.LCP = s.NopPerRegion > 0
+		lines = ceilDiv(s.NopPerRegion+1, slotsPerLine)
+	case 2: // MSROM macro-op: whole-line trace, sequencer-fed decode
+		s.NopPerRegion = r.intn(7) // 0..6 keeps the region ≤ 3 lines
+		s.NopLen = nopLen(r, s.NopPerRegion, codegen.RegionSize-2-3)
+		s.MsromUops = 5 + r.intn(4)
+		lines = 2 // MSROM line + jump line
+		if s.NopPerRegion > 0 {
+			lines++ // leading NOP line
+		}
+	}
+	nSets := 1 + r.intn(3)
+	maxWays := cacheWays / lines
+	if maxWays > 3 {
+		maxWays = 3
+	}
+	ways := 1 + r.intn(maxWays)
+	if nSets*ways < 2 {
+		// Keep at least two regions so deltas stay measurable.
+		if maxWays >= 2 {
+			ways = 2
+		} else {
+			nSets = 2
+		}
+	}
+	s.Sets = pickSets(r, nSets, lo, hi, first)
+	s.Ways = ways
+	return s
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// nopLen draws a NOP length so count NOPs fit in budget bytes.
+func nopLen(r *rng, count, budget int) int {
+	if count == 0 {
+		return 1
+	}
+	max := budget / count
+	if max > 15 {
+		max = 15
+	}
+	return 1 + r.intn(max)
+}
+
+// Generate builds the victim for seed. Generation is total: every seed
+// yields a valid program.
+func Generate(seed uint64) (*Victim, error) {
+	r := rng{x: seed}
+	// Fall chain: lives in the entry chain's low half; its first region
+	// is set 1 so the branch's fall-through streams straight into it
+	// (set 0 is the entry region). Taken chain: high half, disjoint set
+	// pool so the footprints always diverge.
+	fall := chainShape(&r, entryBase, 2, 15, 1, "fall")
+	taken := chainShape(&r, takenBase, 16, 31, -1, "taken")
+
+	b := asm.New(entryBase)
+	b.Label("entry")
+	b.Xor(isa.R1, isa.R1)                       // 3 bytes; zeroing idiom the const-prop resolves
+	b.Loadb(isa.R2, isa.R1, int64(SecretAddr))  // 4 bytes; the secret read
+	b.Cmpi(isa.R2, 0)                           // 4 bytes
+	b.Nop(15)                                   // pad so the branch ends the region
+	b.Nop(4)
+	branch := b.PC()
+	b.Jcc(isa.NE, taken.EntryLabel()) // 2 bytes; ends exactly at entryBase+32
+	if err := fall.Emit(b, "exit"); err != nil {
+		return nil, fmt.Errorf("difftest seed %d: fall chain: %w", seed, err)
+	}
+	if err := taken.Emit(b, "exit"); err != nil {
+		return nil, fmt.Errorf("difftest seed %d: taken chain: %w", seed, err)
+	}
+	b.Org(exitAddr)
+	b.Label("exit")
+	b.Movi(isa.R0, 0x0DD)
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("difftest seed %d: %w", seed, err)
+	}
+	return &Victim{
+		Seed:   seed,
+		Prog:   p,
+		Entry:  p.MustLabel("entry"),
+		Branch: branch,
+		Taken:  taken,
+		Fall:   fall,
+	}, nil
+}
+
+// Prediction is the static side of one victim: the divergence finding
+// and the two whole-program path costs.
+type Prediction struct {
+	Finding staticlint.Finding
+	// TakenCost and FallCost price each direction's complete fetch path
+	// (entry through HALT); Taken and Fall are their refill deltas —
+	// the predicted probe-cycle signal per direction.
+	TakenCost, FallCost staticlint.PathCost
+	Taken, Fall         int
+}
+
+// Predict lints the victim, checks the divergence finding fires at the
+// generated branch, and prices each secret direction as one
+// whole-program fetch path: the shared prefix (entry region through
+// the branch) concatenated with that direction's successor walk. A
+// single CostRanges call per direction means the backend drain bound —
+// and its pipeline-fill lag — applies once per run, exactly as the
+// measurement side pays it.
+func Predict(v *Victim) (Prediction, error) {
+	a := staticlint.Analyze(v.Prog, Spec(), Config())
+	var found *staticlint.Finding
+	for _, f := range (staticlint.FootprintDivergenceChecker{}).Check(a) {
+		if f.Addr == v.Branch {
+			g := f
+			found = &g
+			break
+		}
+	}
+	if found == nil {
+		return Prediction{}, fmt.Errorf("difftest seed %d: no divergence finding at branch %#x", v.Seed, v.Branch)
+	}
+	if found.TakenCost == nil || found.FallCost == nil {
+		return Prediction{}, fmt.Errorf("difftest seed %d: finding carries no path costs", v.Seed)
+	}
+	branch := v.Prog.At(v.Branch)
+	prefix := a.FetchRanges(v.Entry, branch.End())
+	takenRanges := append(append([]uopcache.Range(nil), prefix...),
+		a.FetchRanges(uint64(branch.Imm), 0)...)
+	takenCost := a.RunCost(takenRanges)
+	fallCost := a.RunCost(a.FetchRanges(v.Entry, 0))
+	return Prediction{
+		Finding:   *found,
+		TakenCost: takenCost,
+		FallCost:  fallCost,
+		Taken:     takenCost.RefillDelta,
+		Fall:      fallCost.RefillDelta,
+	}, nil
+}
+
+// MeasureDirection runs the victim on a fresh modelled core with the
+// secret steering one direction and returns the measured refill delta:
+// train runs settle the predictors and fill the micro-op cache, a warm
+// run is timed, the micro-op cache alone is flushed, and a cold run is
+// timed. The difference isolates the DSB-refill cost of the executed
+// path — branch predictors and data caches stay warm throughout, so no
+// misprediction or memory-latency noise enters the delta.
+func MeasureDirection(v *Victim, secret int64) (int, error) {
+	c := cpu.New(cpu.Intel())
+	c.LoadProgram(v.Prog)
+	c.Mem().Write(SecretAddr, 1, secret)
+	run := func(tag string) (cpu.RunResult, error) {
+		res := c.Run(0, v.Entry, maxCycles)
+		if res.TimedOut {
+			return res, fmt.Errorf("difftest seed %d: %s run timed out", v.Seed, tag)
+		}
+		return res, nil
+	}
+	for i := 0; i < trainRuns; i++ {
+		if _, err := run("train"); err != nil {
+			return 0, err
+		}
+	}
+	warm, err := run("warm")
+	if err != nil {
+		return 0, err
+	}
+	c.FlushUopCache()
+	cold, err := run("cold")
+	if err != nil {
+		return 0, err
+	}
+	return int(cold.Cycles) - int(warm.Cycles), nil
+}
+
+// Result is one victim's predicted-vs-measured comparison.
+type Result struct {
+	Seed                 uint64
+	PredTaken, PredFall  int
+	MeasTaken, MeasFall  int
+	Victim               *Victim
+}
+
+// Run generates, predicts, and measures one seed.
+func Run(seed uint64) (Result, error) {
+	v, err := Generate(seed)
+	if err != nil {
+		return Result{}, err
+	}
+	p, err := Predict(v)
+	if err != nil {
+		return Result{}, err
+	}
+	mt, err := MeasureDirection(v, 1)
+	if err != nil {
+		return Result{}, err
+	}
+	mf, err := MeasureDirection(v, 0)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Seed:      seed,
+		PredTaken: p.Taken,
+		PredFall:  p.Fall,
+		MeasTaken: mt,
+		MeasFall:  mf,
+		Victim:    v,
+	}, nil
+}
+
+// Validate applies the acceptance contract to one result: each
+// direction's predicted delta positive, within Tolerance of the
+// measured delta, and the cross-direction asymmetry pointing the same
+// way in prediction and measurement.
+func (r Result) Validate() error {
+	check := func(dir string, pred, meas int) error {
+		if meas <= 0 {
+			return fmt.Errorf("seed %d %s: measured delta %d not positive (flush had no cost?)", r.Seed, dir, meas)
+		}
+		if pred <= 0 {
+			return fmt.Errorf("seed %d %s: predicted delta %d has wrong sign (measured %d)", r.Seed, dir, pred, meas)
+		}
+		diff := pred - meas
+		if diff < 0 {
+			diff = -diff
+		}
+		if float64(diff) > Tolerance*float64(meas) {
+			return fmt.Errorf("seed %d %s: predicted %d vs measured %d (%.1f%% off, tolerance %.0f%%)\nvictim: %s",
+				r.Seed, dir, pred, meas, 100*float64(diff)/float64(meas), 100*Tolerance, r.Describe())
+		}
+		return nil
+	}
+	if err := check("taken", r.PredTaken, r.MeasTaken); err != nil {
+		return err
+	}
+	if err := check("fallthrough", r.PredFall, r.MeasFall); err != nil {
+		return err
+	}
+	// Cross-direction sign: when the predictor claims a clear
+	// asymmetry between the directions, the model must agree on which
+	// direction is more expensive to refill.
+	predDiff := r.PredTaken - r.PredFall
+	measDiff := r.MeasTaken - r.MeasFall
+	if predDiff != 0 && measDiff != 0 && (predDiff > 0) != (measDiff > 0) {
+		return fmt.Errorf("seed %d: predicted probe delta %+d disagrees in sign with measured %+d\nvictim: %s",
+			r.Seed, predDiff, measDiff, r.Describe())
+	}
+	return nil
+}
+
+// Describe renders the victim's shape for failure messages and fixture
+// minimization.
+func (r Result) Describe() string {
+	v := r.Victim
+	if v == nil {
+		return "<nil>"
+	}
+	return fmt.Sprintf("taken %s, fall %s", describeChain(v.Taken), describeChain(v.Fall))
+}
+
+func describeChain(s codegen.ChainSpec) string {
+	amp := "plain"
+	if s.LCP {
+		amp = "lcp"
+	}
+	if s.MsromUops > 0 {
+		amp = fmt.Sprintf("msrom%d", s.MsromUops)
+	}
+	return fmt.Sprintf("{sets %v ways %d nops %d×%d %s}", s.Sets, s.Ways, s.NopPerRegion, s.NopLen, amp)
+}

@@ -1,0 +1,120 @@
+package staticlint
+
+// The leakage quantifier: prices the fetch paths of a secret-dependent
+// branch in probe cycles, using the same cost table the cycle-level
+// front end charges its stalls through (decode.CostTable). For every
+// dsb-footprint-divergence finding the checker attaches a PathCost per
+// direction and a headline predicted probe-cycle delta — the number a
+// prime+probe receiver measuring the divergent sets would observe.
+// The predictions are continuously validated against the simulator by
+// internal/staticlint/difftest.
+
+import (
+	"deaduops/internal/decode"
+	"deaduops/internal/uopcache"
+)
+
+// PathCost is the predicted front-end delivery cost of one fetch path
+// (the straight-line over-approximation of a branch successor).
+type PathCost struct {
+	// Uops is the decoded micro-op count along the path.
+	Uops int `json:"uops"`
+	// WarmCycles is the predicted delivery cost with every cacheable
+	// trace resident in the micro-op cache: the max of the per-segment
+	// DSB stream cycles and the backend drain bound, plus full MITE
+	// delivery of any uncacheable segments.
+	WarmCycles int `json:"warm_cycles"`
+	// ColdCycles is the predicted delivery cost with every trace
+	// evicted: per segment, one fetch/plan cycle + the DSB→MITE switch
+	// penalty + the legacy decode schedule (LCP and predecode stalls
+	// included as empty slots, MSROM streaming at its own width).
+	ColdCycles int `json:"cold_cycles"`
+	// RefillDelta = ColdCycles − WarmCycles: the per-traversal penalty
+	// of finding this path's traces evicted — the probe-cycle signal
+	// the paper's receiver times.
+	RefillDelta int `json:"refill_delta_cycles"`
+	// LCPStallCycles and MSROMUops break out the MITE amplifiers
+	// (mite-amplifier checker) contributing to ColdCycles.
+	LCPStallCycles int `json:"lcp_stall_cycles,omitempty"`
+	MSROMUops      int `json:"msrom_uops,omitempty"`
+	// UncacheableRegions counts segments the placement rules reject;
+	// they are MITE-delivered on every traversal and contribute no
+	// hit/miss asymmetry.
+	UncacheableRegions int `json:"uncacheable_regions,omitempty"`
+}
+
+// Costs returns the shared cost table the quantifier prices with —
+// the same constants internal/frontend charges (see frontend.Config.Costs).
+func (c Config) Costs() decode.CostTable {
+	t := decode.NewCostTable(c.Decode, c.UopCache)
+	t.DrainWidth = c.DrainWidth
+	t.DrainLag = c.DrainLag
+	return t
+}
+
+// CostRanges prices an explicit set of fetch ranges as a path embedded
+// in a longer run: the ranges are segmented exactly as the fetch
+// engine segments them (uopcache.SegmentRanges), each segment is
+// priced by the shared cost table, and the warm cost is bounded below
+// by the backend drain rate across the whole path.
+func (a *Analysis) CostRanges(ranges []uopcache.Range) PathCost {
+	return a.costRanges(ranges, false)
+}
+
+// RunCost prices ranges as one complete program run. Unlike CostRanges
+// — the marginal cost of a path inside a longer run — a standalone
+// run's warm bound also pays the pipeline-fill lag: the retire stream
+// trails dispatch by the machine's depth, which a drain-bound warm run
+// exposes and a fetch-bound cold run hides inside its delivery
+// schedule. This is the quantity internal/staticlint/difftest measures
+// end to end on the simulator.
+func (a *Analysis) RunCost(ranges []uopcache.Range) PathCost {
+	return a.costRanges(ranges, true)
+}
+
+func (a *Analysis) costRanges(ranges []uopcache.Range, wholeRun bool) PathCost {
+	ct := a.Cfg.Costs()
+	var pc PathCost
+	streamCycles := 0 // warm front-end cycles across cacheable segments
+	cacheableUops := 0
+	for _, seg := range uopcache.SegmentRanges(a.Cfg.UopCache, a.Prog, ranges) {
+		rc := ct.Region(seg.Region, seg.Entry, seg.Insts)
+		pc.Uops += rc.Uops
+		pc.ColdCycles += rc.ColdCycles
+		pc.LCPStallCycles += rc.LCPStallCycles
+		pc.MSROMUops += rc.MSROMUops
+		if rc.Cacheable {
+			streamCycles += rc.WarmCycles
+			cacheableUops += rc.Uops
+		} else {
+			pc.UncacheableRegions++
+			pc.WarmCycles += rc.WarmCycles // MITE on every traversal
+		}
+	}
+	drain := ct.DrainCycles(cacheableUops)
+	if wholeRun {
+		drain = ct.DrainBound(cacheableUops)
+	}
+	if drain > streamCycles {
+		streamCycles = drain
+	}
+	pc.WarmCycles += streamCycles
+	pc.RefillDelta = pc.ColdCycles - pc.WarmCycles
+	return pc
+}
+
+// FetchRanges returns the address ranges of the straight-line fetch
+// path from start — sequentially, through direct jumps and calls,
+// along the fall-through of conditional branches — bounded by the
+// config's PathBudget. A nonzero stop ends the walk when fetch reaches
+// that address (exclusive), which lets callers price the shared prefix
+// up to a branch separately from its successors.
+func (a *Analysis) FetchRanges(start, stop uint64) []uopcache.Range {
+	return a.walkPathStop(start, stop, a.Cfg.PathBudget).Ranges
+}
+
+// PathCost prices the straight-line fetch path from start (see
+// FetchRanges for the walk and stop semantics).
+func (a *Analysis) PathCost(start, stop uint64) PathCost {
+	return a.CostRanges(a.FetchRanges(start, stop))
+}

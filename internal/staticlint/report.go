@@ -96,6 +96,15 @@ type Finding struct {
 	// DivergentSets are the sets whose occupancy differs between the
 	// paths — the observable signal.
 	DivergentSets []int `json:"divergent_sets,omitempty"`
+	// TakenCost/FallCost price the two successor paths of a divergence
+	// finding in probe cycles (nil when inapplicable); the predicted
+	// values are differentially validated against the cycle-level
+	// front end by internal/staticlint/difftest.
+	TakenCost *PathCost `json:"taken_cost,omitempty"`
+	FallCost  *PathCost `json:"fallthrough_cost,omitempty"`
+	// ProbeDeltaCycles is the signed headline number: the taken path's
+	// refill penalty minus the fall-through path's.
+	ProbeDeltaCycles int `json:"-"`
 }
 
 // findingJSON is the stable wire form: addresses rendered as hex
@@ -110,9 +119,12 @@ type findingJSON struct {
 	Guard          string         `json:"guard,omitempty"`
 	Load           string         `json:"load,omitempty"`
 	Sink           string         `json:"sink,omitempty"`
-	TakenFootprint []SetOccupancy `json:"taken_footprint,omitempty"`
-	FallFootprint  []SetOccupancy `json:"fallthrough_footprint,omitempty"`
-	DivergentSets  []int          `json:"divergent_sets,omitempty"`
+	TakenFootprint   []SetOccupancy `json:"taken_footprint,omitempty"`
+	FallFootprint    []SetOccupancy `json:"fallthrough_footprint,omitempty"`
+	DivergentSets    []int          `json:"divergent_sets,omitempty"`
+	TakenCost        *PathCost      `json:"taken_cost,omitempty"`
+	FallCost         *PathCost      `json:"fallthrough_cost,omitempty"`
+	ProbeDeltaCycles *int           `json:"predicted_probe_delta_cycles,omitempty"`
 }
 
 func hexOrEmpty(v uint64) string {
@@ -124,7 +136,7 @@ func hexOrEmpty(v uint64) string {
 
 // MarshalJSON implements json.Marshaler.
 func (f Finding) MarshalJSON() ([]byte, error) {
-	return json.Marshal(findingJSON{
+	j := findingJSON{
 		Checker:        f.Checker,
 		Severity:       f.Severity.String(),
 		Confidence:     f.Conf.String(),
@@ -137,7 +149,14 @@ func (f Finding) MarshalJSON() ([]byte, error) {
 		TakenFootprint: f.TakenFootprint,
 		FallFootprint:  f.FallFootprint,
 		DivergentSets:  f.DivergentSets,
-	})
+		TakenCost:      f.TakenCost,
+		FallCost:       f.FallCost,
+	}
+	if f.TakenCost != nil || f.FallCost != nil {
+		d := f.ProbeDeltaCycles
+		j.ProbeDeltaCycles = &d
+	}
+	return json.Marshal(j)
 }
 
 // String renders the finding for terminal output.
@@ -149,6 +168,12 @@ func (f Finding) String() string {
 	}
 	if len(f.DivergentSets) > 0 {
 		fmt.Fprintf(&b, "\n    divergent sets: %v", f.DivergentSets)
+	}
+	if f.TakenCost != nil && f.FallCost != nil {
+		fmt.Fprintf(&b, "\n    predicted cycles: taken warm %d / cold %d (+%d), fallthrough warm %d / cold %d (+%d), probe delta %+d",
+			f.TakenCost.WarmCycles, f.TakenCost.ColdCycles, f.TakenCost.RefillDelta,
+			f.FallCost.WarmCycles, f.FallCost.ColdCycles, f.FallCost.RefillDelta,
+			f.ProbeDeltaCycles)
 	}
 	return b.String()
 }

@@ -36,6 +36,7 @@ package staticlint
 
 import (
 	"deaduops/internal/asm"
+	"deaduops/internal/backend"
 	"deaduops/internal/decode"
 	"deaduops/internal/uopcache"
 )
@@ -49,8 +50,15 @@ type Config struct {
 	// expansion) shared with the simulator.
 	Decode decode.Config
 	// PathBudget bounds how many macro-ops a successor-path walk
-	// follows when computing footprints and amplifiers.
+	// follows when computing footprints, amplifiers, and costs.
 	PathBudget int
+	// DrainWidth is the backend dispatch width bounding sustained warm
+	// delivery in the leakage quantifier (see Config.Costs). Zero
+	// leaves warm delivery capped by the DSB stream width alone.
+	DrainWidth int
+	// DrainLag is the pipeline-fill depth a drain-bound warm run pays
+	// on top of the drain cycles (see decode.CostTable.DrainLag).
+	DrainLag int
 	// GadgetWindow bounds the transient window of the gadget checkers,
 	// in macro-ops past the guard (the legacy scanner used 24).
 	GadgetWindow int
@@ -58,12 +66,22 @@ type Config struct {
 	Checkers []Checker
 }
 
+// DefaultDrainLag is the modelled pipeline's fill depth in cycles: the
+// gap between the dispatch and retire streams that a drain-bound warm
+// run pays and a fetch-bound cold run hides (decode to retire of the
+// first micro-op, minus the cold run's short post-delivery tail).
+// Calibrated once against internal/cpu and continuously re-validated
+// by the differential harness in internal/staticlint/difftest.
+const DefaultDrainLag = 6
+
 // DefaultConfig returns the Skylake-modelled analysis configuration.
 func DefaultConfig() Config {
 	return Config{
 		UopCache:     uopcache.Skylake(),
 		Decode:       decode.Skylake(),
 		PathBudget:   48,
+		DrainWidth:   backend.DefaultConfig().DispatchWidth,
+		DrainLag:     DefaultDrainLag,
 		GadgetWindow: 24,
 	}
 }

@@ -90,25 +90,27 @@ type Range struct {
 	Start, End uint64
 }
 
-// Footprint computes the set/way occupancy of the instruction range
-// [start, end) of prog under cfg's placement rules, as if fetch entered
-// at start and streamed sequentially. The range is segmented the way
-// the fetch engine segments it: a new trace begins at every region
-// boundary, after every unconditional jump, and after every unmapped
-// gap; each segment's trace is built with BuildTrace and charged to the
-// region's set. plan supplies the decoded macro-op groups (use
-// decode.Macros for the modelled pipeline).
-func Footprint(cfg Config, prog *asm.Program, start, end uint64, plan PlanFunc) FootprintResult {
-	return FootprintRanges(cfg, prog, []Range{{start, end}}, plan)
+// Segment is one fetch segment of a code range: the in-order macro-ops
+// of a single (region, entry) trace, exactly as the fetch engine would
+// stream them before handing them to the decoders and the trace
+// builder.
+type Segment struct {
+	Region uint64 // region base address
+	Entry  uint8  // entry offset within the region
+	Insts  []*isa.Inst
 }
 
-// FootprintRanges is Footprint over several disjoint ranges (the fetch
-// segments of one control-flow path), merging the per-set occupancy.
-// A (region, entry) trace is counted once even if ranges revisit it.
-func FootprintRanges(cfg Config, prog *asm.Program, ranges []Range, plan PlanFunc) FootprintResult {
-	res := FootprintResult{Sets: make(map[int]int)}
+// SegmentRanges splits ranges into fetch segments the way the fetch
+// engine does: a new segment begins at every region boundary, after
+// every unconditional jump, and after every unmapped gap. A (region,
+// entry) segment is returned once even if the ranges revisit it. Both
+// the static footprint analysis (FootprintRanges) and the static cost
+// model (decode.CostTable) consume this segmentation, which is what
+// keeps their region granularity identical to the simulator's.
+func SegmentRanges(cfg Config, prog *asm.Program, ranges []Range) []Segment {
+	var out []Segment
 	regionSize := cfg.RegionSize()
-	seen := make(map[[2]uint64]bool) // (region, entry) traces counted
+	seen := make(map[[2]uint64]bool) // (region, entry) traces returned
 
 	for _, r := range ranges {
 		pc := r.Start
@@ -147,24 +149,48 @@ func FootprintRanges(cfg Config, prog *asm.Program, ranges []Range, plan PlanFun
 				continue
 			}
 			seen[key] = true
-
-			t := BuildTrace(cfg, region, uint8(segStart-region), plan(insts))
-			rf := RegionFootprint{
-				Region:    region,
-				Entry:     uint8(segStart - region),
-				Set:       cfg.SetIndexOf(region),
-				Cacheable: t.Cacheable,
-				Reason:    t.Reason,
-			}
-			if t.Cacheable {
-				rf.Ways = len(t.Lines)
-				rf.Uops = t.TotalUops
-				res.Sets[rf.Set] += rf.Ways
-			} else {
-				res.Uncacheable++
-			}
-			res.Regions = append(res.Regions, rf)
+			out = append(out, Segment{
+				Region: region,
+				Entry:  uint8(segStart - region),
+				Insts:  insts,
+			})
 		}
+	}
+	return out
+}
+
+// Footprint computes the set/way occupancy of the instruction range
+// [start, end) of prog under cfg's placement rules, as if fetch entered
+// at start and streamed sequentially. The range is segmented with
+// SegmentRanges and each segment's trace is built with BuildTrace and
+// charged to the region's set. plan supplies the decoded macro-op
+// groups (use decode.Macros for the modelled pipeline).
+func Footprint(cfg Config, prog *asm.Program, start, end uint64, plan PlanFunc) FootprintResult {
+	return FootprintRanges(cfg, prog, []Range{{start, end}}, plan)
+}
+
+// FootprintRanges is Footprint over several disjoint ranges (the fetch
+// segments of one control-flow path), merging the per-set occupancy.
+// A (region, entry) trace is counted once even if ranges revisit it.
+func FootprintRanges(cfg Config, prog *asm.Program, ranges []Range, plan PlanFunc) FootprintResult {
+	res := FootprintResult{Sets: make(map[int]int)}
+	for _, seg := range SegmentRanges(cfg, prog, ranges) {
+		t := BuildTrace(cfg, seg.Region, seg.Entry, plan(seg.Insts))
+		rf := RegionFootprint{
+			Region:    seg.Region,
+			Entry:     seg.Entry,
+			Set:       cfg.SetIndexOf(seg.Region),
+			Cacheable: t.Cacheable,
+			Reason:    t.Reason,
+		}
+		if t.Cacheable {
+			rf.Ways = len(t.Lines)
+			rf.Uops = t.TotalUops
+			res.Sets[rf.Set] += rf.Ways
+		} else {
+			res.Uncacheable++
+		}
+		res.Regions = append(res.Regions, rf)
 	}
 	return res
 }
