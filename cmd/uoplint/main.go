@@ -262,6 +262,43 @@ func selfTest(reports []programReport) []string {
 	expect("bounds-check", "secret-dependent-branch", true)
 	expect("bounds-check", "spectre-v1-gadget", false)
 	expect("indirect-call", "secret-dependent-branch", true)
+	// The interprocedural victim: both callee branches (register-passed
+	// and spill-passed secret) must be flagged, priced, and census'd,
+	// and at least one finding must carry the call chain that names the
+	// callee — the output contract the interprocedural layer adds.
+	expect("callee-branch", "secret-dependent-branch", true)
+	expect("callee-branch", "dsb-footprint-divergence", true)
+	expect("callee-branch", "uop-cache-gadget", true)
+	hasChainTo := func(name, callee string) bool {
+		for _, pr := range reports {
+			if pr.Program != name {
+				continue
+			}
+			for _, f := range pr.Findings {
+				for _, fr := range f.CallChain {
+					if fr.CalleeLabel == callee {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+	for _, callee := range []string{"cb_reg", "cb_mem"} {
+		if !hasChainTo("callee-branch", callee) {
+			msgs = append(msgs, fmt.Sprintf("callee-branch: no finding carries a call chain into %s", callee))
+		}
+	}
+	// The sanitizing callee kills the secret before the caller
+	// branches; any finding here means callee kill sets are ignored.
+	for _, pr := range reports {
+		if pr.Program != "callee-kill" {
+			continue
+		}
+		for _, f := range pr.Findings {
+			msgs = append(msgs, fmt.Sprintf("callee-kill: unexpected %s finding (callee sanitizes the secret)", f.Checker))
+		}
+	}
 	// The codegen-emitted probe routines carry no secrets: any finding
 	// on them is a false positive.
 	for _, probe := range []string{"attack-tiger", "attack-fasttiger", "attack-zebra"} {

@@ -151,6 +151,64 @@ func TestGoldenBoundsCheck(t *testing.T) {
 	}
 }
 
+// TestGoldenCalleeBranch pins the interprocedural victim: both callee
+// branches (register-passed and spill-passed secret) must be flagged
+// and their findings must carry the call chain naming the callee.
+func TestGoldenCalleeBranch(t *testing.T) {
+	got := runJSON(t, "callee-branch")
+	goldenCompare(t, "callee-branch.json", got)
+
+	var pr struct {
+		Findings []struct {
+			Checker   string `json:"checker"`
+			CallChain []struct {
+				CalleeLabel string `json:"callee_label"`
+			} `json:"call_chain"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal(got, &pr); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	chains := map[string]bool{}
+	for _, f := range pr.Findings {
+		seen[f.Checker] = true
+		for _, fr := range f.CallChain {
+			chains[fr.CalleeLabel] = true
+		}
+	}
+	for _, want := range []string{"secret-dependent-branch", "dsb-footprint-divergence", "uop-cache-gadget"} {
+		if !seen[want] {
+			t.Errorf("callee-branch golden lacks a %s finding", want)
+		}
+	}
+	for _, callee := range []string{"cb_reg", "cb_mem"} {
+		if !chains[callee] {
+			t.Errorf("callee-branch golden has no call chain into %s", callee)
+		}
+	}
+	if !bytes.Contains(got, []byte(`"call_chain"`)) {
+		t.Error("callee-branch golden lacks the call_chain field")
+	}
+}
+
+// TestGoldenCalleeKill pins the false-positive gate: the callee zeroes
+// the secret before the caller branches, so the report must be empty.
+func TestGoldenCalleeKill(t *testing.T) {
+	got := runJSON(t, "callee-kill")
+	goldenCompare(t, "callee-kill.json", got)
+
+	var pr struct {
+		Findings []json.RawMessage `json:"findings"`
+	}
+	if err := json.Unmarshal(got, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Findings) != 0 {
+		t.Errorf("callee-kill: %d unexpected finding(s):\n%s", len(pr.Findings), got)
+	}
+}
+
 func TestSelftestFlag(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run([]string{"-selftest"}, &out, &errb); code != 0 {

@@ -43,6 +43,19 @@ func (p *Program) MustLabel(name string) uint64 {
 	return a
 }
 
+// LabelAt returns a label bound to addr, or "" if none. When several
+// labels share the address the lexicographically first is returned, so
+// callers rendering addresses symbolically stay deterministic.
+func (p *Program) LabelAt(addr uint64) string {
+	best := ""
+	for name, a := range p.labels {
+		if a == addr && (best == "" || name < best) {
+			best = name
+		}
+	}
+	return best
+}
+
 // Size returns the number of instructions in the program.
 func (p *Program) Size() int { return len(p.Insts) }
 

@@ -193,9 +193,10 @@ func BuildCFG(p *asm.Program) *CFG {
 			}
 		case isa.CALL:
 			// Control enters the callee and, on return, resumes at the
-			// fall-through. Both edges are kept: the analysis is
-			// context-insensitive and over-approximates the callee's
-			// effect by flowing the pre-call state to the return site.
+			// fall-through. The call edge carries the caller's state
+			// into the callee body; the fall-through edge does NOT pass
+			// the raw pre-call state — the dataflow engine applies the
+			// callee's taint summary across it (see succState).
 			addEdge(uint64(last.Imm), EdgeCall)
 			if fallthroughOK() {
 				addEdge(last.End(), EdgeFallThrough)

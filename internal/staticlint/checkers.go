@@ -78,12 +78,13 @@ func (c SecretBranchChecker) Check(a *Analysis) []Finding {
 			kind = "indirect call"
 		}
 		out = append(out, Finding{
-			Checker:  c.Name(),
-			Severity: SevError,
-			Conf:     sb.conf,
-			Addr:     sb.inst.Addr,
-			Message:  fmt.Sprintf("%s %v depends on secret data (constant-time violation)", kind, sb.inst),
-			Sources:  a.sourceStrings(sb.taint),
+			Checker:   c.Name(),
+			Severity:  SevError,
+			Conf:      sb.conf,
+			Addr:      sb.inst.Addr,
+			Message:   fmt.Sprintf("%s %v depends on secret data (constant-time violation)", kind, sb.inst),
+			Sources:   a.sourceStrings(sb.taint),
+			CallChain: a.callChainTo(sb.inst.Addr),
 		})
 	}
 	return out
@@ -97,10 +98,14 @@ type pathInfo struct {
 }
 
 // walkPath follows fetch from start — sequentially, through direct
-// jumps and into direct calls, along the fall-through of nested
-// conditional branches — for up to budget macro-ops, and returns the
-// address ranges touched. The walk stops at returns, indirect control
-// flow, HALT, system crossings, unmapped addresses, and revisits.
+// jumps, into direct calls and back out through their returns, along
+// the fall-through of nested conditional branches — for up to budget
+// macro-ops, and returns the address ranges touched. The walk keeps a
+// return-address stack so a callee's RET resumes at the call's return
+// site, matching the fetch stream the simulator's return predictor
+// produces; a RET with an empty stack (the walk started inside the
+// callee), indirect control flow, HALT, system crossings, unmapped
+// addresses, and revisits end the walk.
 func (a *Analysis) walkPath(start uint64, budget int) pathInfo {
 	return a.walkPathStop(start, 0, budget)
 }
@@ -111,6 +116,7 @@ func (a *Analysis) walkPath(start uint64, budget int) pathInfo {
 func (a *Analysis) walkPathStop(start, stop uint64, budget int) pathInfo {
 	var p pathInfo
 	visited := make(map[uint64]bool)
+	var retStack []uint64
 	pc := start
 	rangeStart := start
 	closeRange := func(end uint64) {
@@ -131,11 +137,24 @@ func (a *Analysis) walkPathStop(start, stop uint64, budget int) pathInfo {
 		visited[pc] = true
 		p.Insts = append(p.Insts, in)
 		switch in.Op {
-		case isa.JMP, isa.CALL:
+		case isa.JMP:
 			closeRange(in.End())
 			pc = uint64(in.Imm)
 			rangeStart = pc
-		case isa.RET, isa.JMPI, isa.CALLI, isa.HALT, isa.SYSCALL, isa.SYSRET:
+		case isa.CALL:
+			closeRange(in.End())
+			retStack = append(retStack, in.End())
+			pc = uint64(in.Imm)
+			rangeStart = pc
+		case isa.RET:
+			closeRange(in.End())
+			if len(retStack) == 0 {
+				return p
+			}
+			pc = retStack[len(retStack)-1]
+			retStack = retStack[:len(retStack)-1]
+			rangeStart = pc
+		case isa.JMPI, isa.CALLI, isa.HALT, isa.SYSCALL, isa.SYSRET:
 			closeRange(in.End())
 			return p
 		default:
@@ -232,6 +251,7 @@ func (c FootprintDivergenceChecker) Check(a *Analysis) []Finding {
 			Addr:             sb.inst.Addr,
 			Message:          msg,
 			Sources:          a.sourceStrings(sb.taint),
+			CallChain:        a.callChainTo(sb.inst.Addr),
 			TakenFootprint:   occupancyList(taken),
 			FallFootprint:    occupancyList(fall),
 			DivergentSets:    div,
@@ -295,7 +315,8 @@ func (c MITEAmplifierChecker) Check(a *Analysis) []Finding {
 				Message: fmt.Sprintf(
 					"%s path of secret-dependent branch %v carries %d LCP and %d MSROM instruction(s) (first at %#x): decode-latency amplifiers widen the measurable delta",
 					dir.name, sb.inst, lcp, msrom, first.Addr),
-				Sources: a.sourceStrings(sb.taint),
+				Sources:   a.sourceStrings(sb.taint),
+				CallChain: a.callChainTo(sb.inst.Addr),
 			})
 		}
 	}

@@ -199,7 +199,7 @@ func TestReportOrderingAndFilter(t *testing.T) {
 	}
 }
 
-func TestWalkPathFollowsCallsAndStops(t *testing.T) {
+func TestWalkPathFollowsCallsAndReturns(t *testing.T) {
 	b := asm.New(0x1000)
 	b.Label("start")
 	b.Movi(isa.R1, 1)
@@ -211,12 +211,25 @@ func TestWalkPathFollowsCallsAndStops(t *testing.T) {
 	b.Ret()
 	p := b.MustBuild()
 	a := Analyze(p, Spec{}, DefaultConfig())
+
+	// From the caller: the walk enters the callee and returns through
+	// its RET to the call's return site, ending at HALT — three ranges
+	// (caller prefix, callee body, return site).
 	info := a.walkPath(p.MustLabel("start"), 32)
-	if len(info.Ranges) != 2 {
-		t.Fatalf("ranges = %v, want caller + callee", info.Ranges)
+	if len(info.Ranges) != 3 {
+		t.Fatalf("ranges = %v, want caller + callee + return site", info.Ranges)
 	}
-	last := info.Insts[len(info.Insts)-1]
-	if last.Op != isa.RET {
-		t.Errorf("walk ended at %v, want RET", last)
+	if last := info.Insts[len(info.Insts)-1]; last.Op != isa.HALT {
+		t.Errorf("walk ended at %v, want HALT", last)
+	}
+
+	// From inside the callee there is no return-site context: the RET
+	// ends the walk (empty return stack).
+	info = a.walkPath(p.MustLabel("fn"), 32)
+	if len(info.Ranges) != 1 {
+		t.Fatalf("callee-only ranges = %v, want one", info.Ranges)
+	}
+	if last := info.Insts[len(info.Insts)-1]; last.Op != isa.RET {
+		t.Errorf("callee-only walk ended at %v, want RET", last)
 	}
 }

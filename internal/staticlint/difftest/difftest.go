@@ -26,6 +26,9 @@ const (
 	// SecretAddr holds the one secret byte a generated victim branches
 	// on; 0 steers the fall-through path, 1 the taken path.
 	SecretAddr = 0x9000
+	// spillAddr is the slot ShapeCalleeSpill victims spill the secret
+	// byte through before the call.
+	spillAddr = 0x9100
 
 	// entryBase is the (WayStride-aligned) address of the entry region:
 	// it loads the secret, compares it, pads, and ends with the
@@ -33,15 +36,73 @@ const (
 	// both directions share an identical entry trace and the static
 	// fetch segmentation matches the simulator's bit for bit.
 	entryBase = 0x10000
+	// nestedStubAddr hosts the never-taken target of ShapeNested's
+	// second (nested) secret branch, clear of the fall chain's span.
+	nestedStubAddr = entryBase + 0x3000
+	// calleeBase is the (WayStride-aligned) entry of the callee region
+	// for the multi-function shapes: the entry region ends with a CALL
+	// here, and the callee's region ends with the secret branch.
+	calleeBase = entryBase + 0x4000
 	// takenBase hosts the taken-direction chain, clear of the
 	// fall-direction chain's largest possible span.
 	takenBase = entryBase + 0x8000
+	// suffixBase hosts ShapeSharedSuffix's common tail chain both
+	// directions rejoin before the exit.
+	suffixBase = takenBase + 0x4000
 	// exitAddr hosts the shared exit block both chains jump to.
 	exitAddr = takenBase + 0x8000
 
 	maxCycles = 200_000
 	trainRuns = 3
+
+	// spillPreambleRegions is the number of 14-µop NOP regions the
+	// ShapeCalleeSpill callee executes before reloading the spill slot;
+	// see the shape's construction for why the reload must trail the
+	// store by several retire groups.
+	spillPreambleRegions = 3
 )
+
+// Shape selects the victim's control-flow skeleton; the generator
+// draws it first, so every flavour keeps its own deterministic stream.
+type Shape int
+
+// Victim shapes.
+const (
+	// ShapeLeaf is the original single-function victim: entry region →
+	// secret branch → per-direction chain → exit.
+	ShapeLeaf Shape = iota
+	// ShapeCalleeReg moves the secret branch into a callee; the secret
+	// reaches it in a register argument across the CALL.
+	ShapeCalleeReg
+	// ShapeCalleeSpill also branches in a callee, but the caller spills
+	// the secret to memory and zeroes the register — the callee reloads
+	// it, so the taint crosses the call through a resolved memory cell.
+	ShapeCalleeSpill
+	// ShapeNested adds a second, nested secret branch (never taken for
+	// the generated secrets) on the fall path.
+	ShapeNested
+	// ShapeSharedSuffix makes both directions rejoin a shared suffix
+	// chain before the exit, so only a prefix of the footprint diverges.
+	ShapeSharedSuffix
+)
+
+// String implements fmt.Stringer.
+func (s Shape) String() string {
+	switch s {
+	case ShapeLeaf:
+		return "leaf"
+	case ShapeCalleeReg:
+		return "callee-reg"
+	case ShapeCalleeSpill:
+		return "callee-spill"
+	case ShapeNested:
+		return "nested"
+	case ShapeSharedSuffix:
+		return "shared-suffix"
+	default:
+		return "shape?"
+	}
+}
 
 // Tolerance is the harness's acceptance contract: each direction's
 // predicted refill delta must lie within ±25% of the simulator's
@@ -51,14 +112,20 @@ const Tolerance = 0.25
 // Victim is one generated secret-branching program.
 type Victim struct {
 	Seed   uint64
+	Shape  Shape
 	Prog   *asm.Program
 	Entry  uint64
 	Branch uint64 // address of the secret-dependent JCC
 	// Taken and Fall are the chain shapes of the two directions.
 	Taken, Fall codegen.ChainSpec
+	// Suffix is the shared tail chain (ShapeSharedSuffix only).
+	Suffix *codegen.ChainSpec
 }
 
-// Spec declares the generated victims' secret byte.
+// Spec declares the generated victims' secret byte. The spill slot is
+// deliberately NOT declared: ShapeCalleeSpill's taint must reach the
+// callee's branch because the engine tracks the store/reload through
+// the call, not because the slot itself is secret.
 func Spec() staticlint.Spec {
 	return staticlint.Spec{
 		SecretRanges: []staticlint.MemRange{{Start: SecretAddr, End: SecretAddr + 1}},
@@ -179,31 +246,150 @@ func nopLen(r *rng, count, budget int) int {
 	return 1 + r.intn(max)
 }
 
+// suffixShape draws ShapeSharedSuffix's small common tail chain: one
+// or two regions in sets 30/31 (untouched by either direction's set
+// pool), one way, plain short NOPs — a tail both directions fetch, so
+// only the per-direction prefix of the footprint diverges.
+func suffixShape(r *rng) codegen.ChainSpec {
+	s := codegen.ChainSpec{Base: suffixBase, Label: "suffix"}
+	s.Sets = []int{30}
+	if r.intn(2) == 1 {
+		s.Sets = []int{30, 31}
+	}
+	s.Ways = 1
+	s.NopPerRegion = r.intn(6)
+	s.NopLen = nopLen(r, s.NopPerRegion, codegen.RegionSize-2)
+	return s
+}
+
 // Generate builds the victim for seed. Generation is total: every seed
-// yields a valid program.
+// yields a valid program. The first draw picks the shape; each shape
+// then consumes its own deterministic stream, so fuzz corpus seeds
+// reproduce exactly.
+//
+// Every shape keeps the leaf invariants the quantifier relies on: the
+// region holding the secret-dependent branch ends exactly at a
+// 32-byte boundary (so both directions share its trace), the fall
+// chain's first region is the one fetch streams into past the branch,
+// and the two directions' chain set pools are disjoint.
 func Generate(seed uint64) (*Victim, error) {
 	r := rng{x: seed}
-	// Fall chain: lives in the entry chain's low half; its first region
-	// is set 1 so the branch's fall-through streams straight into it
-	// (set 0 is the entry region). Taken chain: high half, disjoint set
-	// pool so the footprints always diverge.
-	fall := chainShape(&r, entryBase, 2, 15, 1, "fall")
-	taken := chainShape(&r, takenBase, 16, 31, -1, "taken")
-
+	shape := Shape(r.intn(5))
+	v := &Victim{Seed: seed, Shape: shape}
 	b := asm.New(entryBase)
 	b.Label("entry")
-	b.Xor(isa.R1, isa.R1)                       // 3 bytes; zeroing idiom the const-prop resolves
-	b.Loadb(isa.R2, isa.R1, int64(SecretAddr))  // 4 bytes; the secret read
-	b.Cmpi(isa.R2, 0)                           // 4 bytes
-	b.Nop(15)                                   // pad so the branch ends the region
-	b.Nop(4)
-	branch := b.PC()
-	b.Jcc(isa.NE, taken.EntryLabel()) // 2 bytes; ends exactly at entryBase+32
-	if err := fall.Emit(b, "exit"); err != nil {
-		return nil, fmt.Errorf("difftest seed %d: fall chain: %w", seed, err)
+	var branch uint64
+	switch shape {
+	case ShapeLeaf, ShapeNested, ShapeSharedSuffix:
+		// Fall chain: lives in the entry chain's low half; its first
+		// region is the one the branch cascade falls through into (set 1
+		// after the entry region, set 2 when the nested region follows).
+		// Taken chain: high half, disjoint set pool so the footprints
+		// always diverge; the shared-suffix shape reserves sets 30/31
+		// for the common tail.
+		fallLo, fallFirst := 2, 1
+		if shape == ShapeNested {
+			fallLo, fallFirst = 3, 2
+		}
+		takenHi := 31
+		if shape == ShapeSharedSuffix {
+			takenHi = 29
+		}
+		v.Fall = chainShape(&r, entryBase, fallLo, 15, fallFirst, "fall")
+		v.Taken = chainShape(&r, takenBase, 16, takenHi, -1, "taken")
+		b.Xor(isa.R1, isa.R1)                      // 3 bytes; zeroing idiom the const-prop resolves
+		b.Loadb(isa.R2, isa.R1, int64(SecretAddr)) // 4 bytes; the secret read
+		b.Cmpi(isa.R2, 0)                          // 4 bytes
+		b.Nop(15)                                  // pad so the branch ends the region
+		b.Nop(4)
+		branch = b.PC()
+		b.Jcc(isa.NE, v.Taken.EntryLabel()) // 2 bytes; ends exactly at entryBase+32
+		if shape == ShapeNested {
+			// A second secret branch in the next region of the fall
+			// path; never taken for the generated secrets (0/1 < 2), so
+			// it perturbs prediction state without forking the fetch
+			// stream — the linter still prices both of its successors.
+			b.Cmpi(isa.R2, 2) // 4 bytes
+			b.Nop(13)
+			b.Nop(13)
+			b.Jcc(isa.AE, "nested_out") // ends exactly at entryBase+64
+		}
+	case ShapeCalleeReg, ShapeCalleeSpill:
+		// The entry region ends with a CALL instead of the branch; the
+		// callee's last region ends with the secret branch, whose
+		// fall-through streams into the fall chain's first region. The
+		// spill flavour's callee opens with spillPreambleRegions of pure
+		// NOPs before the reload: the backend's conservative memory
+		// ordering stalls a load while any older store is unretired, and
+		// that stall is paid in full by the drain-bound warm run but
+		// hidden under MITE delivery in the cold run — without the
+		// preamble the measured refill delta shrinks by the stall length
+		// and the fetch-only predictor over-shoots. The padding lets the
+		// spill store (and the CALL's return-address push) retire before
+		// the reload enters the window, keeping the victim front-end
+		// bound like every other shape.
+		fallFirst := 1
+		if shape == ShapeCalleeSpill {
+			fallFirst = spillPreambleRegions + 1
+		}
+		v.Fall = chainShape(&r, calleeBase, fallFirst+1, 15, fallFirst, "fall")
+		v.Taken = chainShape(&r, takenBase, 16, 31, -1, "taken")
+		b.Xor(isa.R1, isa.R1)                      // 3 bytes
+		b.Loadb(isa.R2, isa.R1, int64(SecretAddr)) // 4 bytes
+		if shape == ShapeCalleeReg {
+			// The secret crosses the call in R2.
+			b.Nop(15)
+			b.Nop(5)
+		} else {
+			// The secret crosses the call through memory: spill, then
+			// kill the register copy so only the reload can taint.
+			b.Nop(11)
+			b.Store(isa.R1, spillAddr, isa.R2) // 4 bytes; [0+spillAddr] = secret
+			b.Movi(isa.R2, 0)                  // 5 bytes
+		}
+		b.Call("callee") // 5 bytes; ends exactly at entryBase+32
+		b.Org(calleeBase)
+		b.Label("callee")
+		if shape == ShapeCalleeReg {
+			b.Cmpi(isa.R2, 0) // 4 bytes
+			b.Nop(13)
+			b.Nop(13)
+		} else {
+			for i := 0; i < spillPreambleRegions; i++ {
+				for j := 0; j < 13; j++ {
+					b.Nop(2)
+				}
+				b.Nop(6) // 13×2 + 6 = one full 32-byte region, 14 µops
+			}
+			b.Loadb(isa.R3, isa.R1, spillAddr) // 4 bytes; reload the spill
+			b.Cmpi(isa.R3, 0)                  // 4 bytes
+			b.Nop(11)
+			b.Nop(11)
+		}
+		branch = b.PC()
+		b.Jcc(isa.NE, v.Taken.EntryLabel()) // 2 bytes; ends at a region boundary
 	}
-	if err := taken.Emit(b, "exit"); err != nil {
-		return nil, fmt.Errorf("difftest seed %d: taken chain: %w", seed, err)
+	exitLabel := "exit"
+	if shape == ShapeSharedSuffix {
+		s := suffixShape(&r)
+		v.Suffix = &s
+		exitLabel = s.EntryLabel()
+	}
+	if err := v.Fall.Emit(b, exitLabel); err != nil {
+		return nil, fmt.Errorf("difftest seed %d (%s): fall chain: %w", seed, shape, err)
+	}
+	if shape == ShapeNested {
+		b.Org(nestedStubAddr)
+		b.Label("nested_out")
+		b.Jmp("exit")
+	}
+	if err := v.Taken.Emit(b, exitLabel); err != nil {
+		return nil, fmt.Errorf("difftest seed %d (%s): taken chain: %w", seed, shape, err)
+	}
+	if v.Suffix != nil {
+		if err := v.Suffix.Emit(b, "exit"); err != nil {
+			return nil, fmt.Errorf("difftest seed %d (%s): suffix chain: %w", seed, shape, err)
+		}
 	}
 	b.Org(exitAddr)
 	b.Label("exit")
@@ -211,16 +397,12 @@ func Generate(seed uint64) (*Victim, error) {
 	b.Halt()
 	p, err := b.Build()
 	if err != nil {
-		return nil, fmt.Errorf("difftest seed %d: %w", seed, err)
+		return nil, fmt.Errorf("difftest seed %d (%s): %w", seed, shape, err)
 	}
-	return &Victim{
-		Seed:   seed,
-		Prog:   p,
-		Entry:  p.MustLabel("entry"),
-		Branch: branch,
-		Taken:  taken,
-		Fall:   fall,
-	}, nil
+	v.Prog = p
+	v.Entry = p.MustLabel("entry")
+	v.Branch = branch
+	return v, nil
 }
 
 // Prediction is the static side of one victim: the divergence finding
@@ -309,10 +491,10 @@ func MeasureDirection(v *Victim, secret int64) (int, error) {
 
 // Result is one victim's predicted-vs-measured comparison.
 type Result struct {
-	Seed                 uint64
-	PredTaken, PredFall  int
-	MeasTaken, MeasFall  int
-	Victim               *Victim
+	Seed                uint64
+	PredTaken, PredFall int
+	MeasTaken, MeasFall int
+	Victim              *Victim
 }
 
 // Run generates, predicts, and measures one seed.
@@ -390,7 +572,11 @@ func (r Result) Describe() string {
 	if v == nil {
 		return "<nil>"
 	}
-	return fmt.Sprintf("taken %s, fall %s", describeChain(v.Taken), describeChain(v.Fall))
+	d := fmt.Sprintf("%s: taken %s, fall %s", v.Shape, describeChain(v.Taken), describeChain(v.Fall))
+	if v.Suffix != nil {
+		d += fmt.Sprintf(", suffix %s", describeChain(*v.Suffix))
+	}
+	return d
 }
 
 func describeChain(s codegen.ChainSpec) string {

@@ -53,9 +53,10 @@ func TestGenerateDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
-		if v1.Branch != v2.Branch ||
+		if v1.Branch != v2.Branch || v1.Shape != v2.Shape ||
 			!reflect.DeepEqual(v1.Taken, v2.Taken) ||
-			!reflect.DeepEqual(v1.Fall, v2.Fall) {
+			!reflect.DeepEqual(v1.Fall, v2.Fall) ||
+			!reflect.DeepEqual(v1.Suffix, v2.Suffix) {
 			t.Errorf("seed %d: generation not deterministic:\n%+v\n%+v", seed, v1, v2)
 		}
 		p1, err := Predict(v1)
@@ -73,12 +74,13 @@ func TestGenerateDeterministic(t *testing.T) {
 	}
 }
 
-// canonicalSeeds pin two victims covering both amplifier families: seed
-// 4 is an LCP-heavy taken chain (large asymmetric delta), seed 8 pairs
-// an MSROM taken chain against an LCP fall chain. Their predicted and
-// measured deltas are pinned in testdata/canonical.golden; run with
-// -update after an intentional cost-model change.
-var canonicalSeeds = []uint64{4, 8}
+// canonicalSeeds pin one victim per control-flow shape: seed 1 is a
+// leaf, seed 10 branches in a callee on a register argument, seed 8
+// branches in a callee on a reloaded spill, seed 4 nests a second
+// secret branch, and seed 17 rejoins a shared suffix. Their predicted
+// and measured deltas are pinned in testdata/canonical.golden; run
+// with -update after an intentional cost-model change.
+var canonicalSeeds = []uint64{1, 4, 8, 10, 17}
 
 type canonicalRecord struct {
 	Seed      uint64 `json:"seed"`
@@ -133,15 +135,17 @@ func TestCanonicalGolden(t *testing.T) {
 }
 
 // FuzzPredictedDelta throws random seeds at the generator and holds
-// every victim to the acceptance contract. The seed corpus contains
-// the counterexamples found while calibrating the cost model: seed 9
-// exposed the pipeline-fill lag a drain-bound warm run pays (fixed by
-// CostTable.DrainLag), seed 10 exposed chains whose per-set line
-// demand exceeded the 8 ways of a set (partial fills contaminating the
-// warm run; fixed by the generator's capacity cap), seeds 15 and 52
-// are the worst rounding cases of the current model.
+// every victim to the acceptance contract. The committed corpus keeps
+// the counterexamples found while calibrating the cost model — seeds 9,
+// 10, 15, and 52 historically exposed the pipeline-fill lag, per-set
+// capacity overflow, and the model's worst rounding cases (their
+// decoded victims changed when the shape draw was prepended to the
+// stream, but they stay as regression anchors) — plus seed 6, a
+// callee-spill victim whose reload is subject to the backend's
+// load-after-store ordering stall, and seed 17, a shared-suffix victim
+// whose footprints diverge only in a prefix.
 func FuzzPredictedDelta(f *testing.F) {
-	for _, seed := range []uint64{1, 4, 8, 9, 10, 15, 52, 1337} {
+	for _, seed := range []uint64{1, 4, 6, 8, 9, 10, 15, 17, 52, 1337} {
 		f.Add(seed)
 	}
 	f.Fuzz(func(t *testing.T, seed uint64) {

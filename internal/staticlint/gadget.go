@@ -33,21 +33,38 @@ func (k GadgetKind) String() string {
 
 // GadgetHit is one transient-gadget detection: the bypassable guard,
 // the guarded load that sources the taint, and the disclosing sink.
+// LoadFunc/SinkFunc attribute the load and sink to their owning
+// functions' entry addresses (zero when unattributed); CrossFunction
+// marks gadgets whose two halves live in different functions — the
+// interprocedural shape the census would miss with a call-bounded
+// window.
 type GadgetHit struct {
-	Kind  GadgetKind
-	Guard uint64
-	Load  uint64
-	Sink  uint64
+	Kind          GadgetKind
+	Guard         uint64
+	Load          uint64
+	Sink          uint64
+	LoadFunc      uint64
+	SinkFunc      uint64
+	CrossFunction bool
 }
+
+// maxGadgetCallDepth bounds how many nested direct calls the transient
+// window follows: the return stack predictor keeps speculative fetch
+// on call/return rails for shallow nests, but a deep chain exhausts
+// the window anyway.
+const maxGadgetCallDepth = 4
 
 // ScanGadgets runs the transient-window gadget analysis over every
 // conditional branch of prog, treating each as a potentially bypassed
 // guard. Unlike the legacy linear scanner, the walk runs the dataflow
 // engine's transfer function, so taint dies on overwrite (MOVI, MOV
 // from a clean register, xor/sub zeroing idioms, RDTSC) and flows
-// through resolved memory cells.
+// through resolved memory cells; direct calls and their returns are
+// followed, so a gadget whose load and transmit halves live in
+// different functions is still counted — and attributed to both.
 func ScanGadgets(prog *asm.Program, cfg Config) []GadgetHit {
-	a := &Analysis{Prog: prog, Spec: Spec{}, Cfg: cfg}
+	a := &Analysis{Prog: prog, CFG: BuildCFG(prog), Spec: Spec{}, Cfg: cfg}
+	a.buildFuncs()
 	var out []GadgetHit
 	for _, in := range prog.Insts {
 		if in.Op == isa.JCC {
@@ -57,16 +74,27 @@ func ScanGadgets(prog *asm.Program, cfg Config) []GadgetHit {
 	return out
 }
 
-// scanGuard walks the straight-line transient window past one guard.
-// Every load in the window mints a fresh taint source (its result is
-// attacker-reachable once the guard is bypassed); sinks are dependent
-// conditional/indirect branches (µop-cache class) and dependent load
-// addresses (Spectre-v1 class). Each (source, class) pair reports
-// once, mirroring the census semantics.
+// funcEntryOf returns the entry address of the function owning addr,
+// or 0 when unattributed.
+func (a *Analysis) funcEntryOf(addr uint64) uint64 {
+	b := a.CFG.BlockOf(addr)
+	if b == nil || a.funcOf == nil || a.funcOf[b.Index] < 0 {
+		return 0
+	}
+	return a.funcs[a.funcOf[b.Index]].Entry
+}
+
+// scanGuard walks the transient window past one guard: straight-line
+// fetch through direct jumps, into direct calls and back out through
+// their returns (bounded by maxGadgetCallDepth). Every load in the
+// window mints a fresh taint source (its result is attacker-reachable
+// once the guard is bypassed); sinks are dependent conditional/
+// indirect branches (µop-cache class) and dependent load addresses
+// (Spectre-v1 class). Each (source, class) pair reports once,
+// mirroring the census semantics.
 func (a *Analysis) scanGuard(guard *isa.Inst) []GadgetHit {
 	var out []GadgetHit
 	st := &State{Mem: make(map[uint64]taintSet)}
-	// loadBit maps a source bit index to its load site.
 	a.sources = nil
 	hook := func(in *isa.Inst) taintSet {
 		return a.addSource(Source{Kind: SrcLoad, Addr: in.Addr})
@@ -81,7 +109,12 @@ func (a *Analysis) scanGuard(guard *isa.Inst) []GadgetHit {
 				continue
 			}
 			seen[kind][i] = true
-			out = append(out, GadgetHit{Kind: kind, Guard: guard.Addr, Load: s.Addr, Sink: sink})
+			lf, sf := a.funcEntryOf(s.Addr), a.funcEntryOf(sink)
+			out = append(out, GadgetHit{
+				Kind: kind, Guard: guard.Addr, Load: s.Addr, Sink: sink,
+				LoadFunc: lf, SinkFunc: sf,
+				CrossFunction: lf != 0 && sf != 0 && lf != sf,
+			})
 		}
 	}
 
@@ -89,6 +122,7 @@ func (a *Analysis) scanGuard(guard *isa.Inst) []GadgetHit {
 	if window <= 0 {
 		window = 24
 	}
+	var retStack []uint64
 	pc := guard.End()
 	for step := 0; step < window; step++ {
 		in := a.Prog.At(pc)
@@ -106,8 +140,26 @@ func (a *Analysis) scanGuard(guard *isa.Inst) []GadgetHit {
 		case isa.JMPI, isa.CALLI:
 			report(GadgetUopCache, st.Regs[in.Dst&0x0F], in.Addr)
 			return out
-		case isa.JMP, isa.CALL, isa.RET, isa.HALT, isa.SYSCALL, isa.SYSRET:
-			// Control leaves the straight-line window.
+		case isa.CALL:
+			// Speculative fetch follows the call; the window continues
+			// inside the callee and resumes at the return site on RET.
+			if len(retStack) >= maxGadgetCallDepth || a.Prog.At(uint64(in.Imm)) == nil {
+				return out
+			}
+			a.step(st, in, hook)
+			retStack = append(retStack, in.End())
+			pc = uint64(in.Imm)
+			continue
+		case isa.RET:
+			if len(retStack) == 0 {
+				return out
+			}
+			a.step(st, in, hook)
+			pc = retStack[len(retStack)-1]
+			retStack = retStack[:len(retStack)-1]
+			continue
+		case isa.JMP, isa.HALT, isa.SYSCALL, isa.SYSRET:
+			// Control leaves the window.
 			return out
 		}
 		a.step(st, in, hook)
@@ -146,6 +198,12 @@ func gadgetFindings(a *Analysis, kind GadgetKind, name string, sev Severity) []F
 		if h.Kind != kind {
 			continue
 		}
+		msg := fmt.Sprintf(
+			"%s gadget: guard %#x → guarded load %#x → sink %#x", kind, h.Guard, h.Load, h.Sink)
+		if h.CrossFunction {
+			msg += fmt.Sprintf("; load in %s, sink in %s (cross-function)",
+				funcName(a.Prog, h.LoadFunc), funcName(a.Prog, h.SinkFunc))
+		}
 		out = append(out, Finding{
 			Checker:  name,
 			Severity: sev,
@@ -154,9 +212,17 @@ func gadgetFindings(a *Analysis, kind GadgetKind, name string, sev Severity) []F
 			Guard:    h.Guard,
 			Load:     h.Load,
 			Sink:     h.Sink,
-			Message: fmt.Sprintf(
-				"%s gadget: guard %#x → guarded load %#x → sink %#x", kind, h.Guard, h.Load, h.Sink),
+			Message:  msg,
 		})
 	}
 	return out
+}
+
+// funcName renders a function entry address symbolically when a label
+// is bound to it.
+func funcName(p *asm.Program, entry uint64) string {
+	if l := p.LabelAt(entry); l != "" {
+		return l
+	}
+	return fmt.Sprintf("%#x", entry)
 }

@@ -72,6 +72,16 @@ type SetOccupancy struct {
 	Ways int `json:"ways"`
 }
 
+// CallFrame is one hop of a finding's interprocedural trace: the call
+// site executed and the callee it enters. A finding inside a function
+// only reachable through calls carries the chain from a caller-less
+// root down to the flagged site, rendered root-first.
+type CallFrame struct {
+	CallSite    uint64
+	Callee      uint64
+	CalleeLabel string
+}
+
 // Finding is one checker result.
 type Finding struct {
 	// Checker names the producing checker.
@@ -84,6 +94,9 @@ type Finding struct {
 	Message string `json:"message"`
 	// Sources lists the taint sources reaching the site.
 	Sources []string `json:"sources,omitempty"`
+	// CallChain traces how control reaches the flagged site across
+	// function boundaries (empty when the site is in a root function).
+	CallChain []CallFrame `json:"-"`
 	// Guard/Load/Sink trace a gadget finding's chain (zero when
 	// inapplicable).
 	Guard uint64 `json:"-"`
@@ -107,24 +120,44 @@ type Finding struct {
 	ProbeDeltaCycles int `json:"-"`
 }
 
+// callFrameJSON is CallFrame's wire form (hex addresses).
+type callFrameJSON struct {
+	CallSite    string `json:"call_site"`
+	Callee      string `json:"callee"`
+	CalleeLabel string `json:"callee_label,omitempty"`
+}
+
 // findingJSON is the stable wire form: addresses rendered as hex
 // strings so goldens stay readable and diffable.
 type findingJSON struct {
-	Checker        string         `json:"checker"`
-	Severity       string         `json:"severity"`
-	Confidence     string         `json:"confidence"`
-	Addr           string         `json:"addr"`
-	Message        string         `json:"message"`
-	Sources        []string       `json:"sources,omitempty"`
-	Guard          string         `json:"guard,omitempty"`
-	Load           string         `json:"load,omitempty"`
-	Sink           string         `json:"sink,omitempty"`
-	TakenFootprint   []SetOccupancy `json:"taken_footprint,omitempty"`
-	FallFootprint    []SetOccupancy `json:"fallthrough_footprint,omitempty"`
-	DivergentSets    []int          `json:"divergent_sets,omitempty"`
-	TakenCost        *PathCost      `json:"taken_cost,omitempty"`
-	FallCost         *PathCost      `json:"fallthrough_cost,omitempty"`
-	ProbeDeltaCycles *int           `json:"predicted_probe_delta_cycles,omitempty"`
+	Checker          string          `json:"checker"`
+	Severity         string          `json:"severity"`
+	Confidence       string          `json:"confidence"`
+	Addr             string          `json:"addr"`
+	Message          string          `json:"message"`
+	Sources          []string        `json:"sources,omitempty"`
+	CallChain        []callFrameJSON `json:"call_chain,omitempty"`
+	Guard            string          `json:"guard,omitempty"`
+	Load             string          `json:"load,omitempty"`
+	Sink             string          `json:"sink,omitempty"`
+	TakenFootprint   []SetOccupancy  `json:"taken_footprint,omitempty"`
+	FallFootprint    []SetOccupancy  `json:"fallthrough_footprint,omitempty"`
+	DivergentSets    []int           `json:"divergent_sets,omitempty"`
+	TakenCost        *PathCost       `json:"taken_cost,omitempty"`
+	FallCost         *PathCost       `json:"fallthrough_cost,omitempty"`
+	ProbeDeltaCycles *int            `json:"predicted_probe_delta_cycles,omitempty"`
+}
+
+func callChainJSON(chain []CallFrame) []callFrameJSON {
+	var out []callFrameJSON
+	for _, fr := range chain {
+		out = append(out, callFrameJSON{
+			CallSite:    fmt.Sprintf("%#x", fr.CallSite),
+			Callee:      fmt.Sprintf("%#x", fr.Callee),
+			CalleeLabel: fr.CalleeLabel,
+		})
+	}
+	return out
 }
 
 func hexOrEmpty(v uint64) string {
@@ -143,6 +176,7 @@ func (f Finding) MarshalJSON() ([]byte, error) {
 		Addr:           fmt.Sprintf("%#x", f.Addr),
 		Message:        f.Message,
 		Sources:        f.Sources,
+		CallChain:      callChainJSON(f.CallChain),
 		Guard:          hexOrEmpty(f.Guard),
 		Load:           hexOrEmpty(f.Load),
 		Sink:           hexOrEmpty(f.Sink),
@@ -165,6 +199,19 @@ func (f Finding) String() string {
 	fmt.Fprintf(&b, "%s [%s/%s] %#x: %s", f.Checker, f.Severity, f.Conf, f.Addr, f.Message)
 	for _, s := range f.Sources {
 		fmt.Fprintf(&b, "\n    source: %s", s)
+	}
+	if len(f.CallChain) > 0 {
+		b.WriteString("\n    call chain:")
+		for i, fr := range f.CallChain {
+			name := fr.CalleeLabel
+			if name == "" {
+				name = fmt.Sprintf("%#x", fr.Callee)
+			}
+			if i > 0 {
+				b.WriteString(" →")
+			}
+			fmt.Fprintf(&b, " call@%#x → %s", fr.CallSite, name)
+		}
 	}
 	if len(f.DivergentSets) > 0 {
 		fmt.Fprintf(&b, "\n    divergent sets: %v", f.DivergentSets)

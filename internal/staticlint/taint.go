@@ -61,6 +61,14 @@ const (
 	// SrcLoad is a transient-window load (gadget mode): any value a
 	// bypassed guard lets the victim read.
 	SrcLoad
+	// SrcParamReg/SrcParamFlags/SrcParamMem are the placeholder sources
+	// function summaries are computed over: they stand for the caller's
+	// register/flags/unresolved-store taint and are substituted with the
+	// caller's actual bits when a summary is applied at a call site.
+	// They never appear in findings.
+	SrcParamReg
+	SrcParamFlags
+	SrcParamMem
 )
 
 // Source is one entry of the taint source table.
@@ -82,6 +90,12 @@ func (s Source) String() string {
 		return fmt.Sprintf("may-alias of secret range [%#x,%#x)", s.Range.Start, s.Range.End)
 	case SrcLoad:
 		return fmt.Sprintf("guarded load at %#x", s.Addr)
+	case SrcParamReg:
+		return fmt.Sprintf("callee input register %s", s.Reg)
+	case SrcParamFlags:
+		return "callee input flags"
+	case SrcParamMem:
+		return "callee input memory"
 	default:
 		return "source?"
 	}
@@ -162,6 +176,22 @@ type Analysis struct {
 
 	in      []*State // fixpoint in-state per block
 	reached []bool
+
+	// Interprocedural layer (callgraph.go / summary.go): the function
+	// partition, per-function taint summaries, and the placeholder
+	// sources summaries are expressed over.
+	funcs      []*Func
+	funcIndex  map[uint64]int // function entry address → funcs index
+	funcOf     []int          // block index → owning funcs index (-1: none)
+	callers    [][]callerRef
+	funcWrites []uint32
+	summaries  map[uint64]*summary
+	paramReg   [isa.NumRegs]taintSet
+	paramFlags taintSet
+	paramMem   taintSet
+	paramMask  taintSet
+	paramsOK   bool
+	inSummary  bool // a summary fixpoint is running (loadTaint hook)
 }
 
 // Sources returns the taint source table (indexed by bit position,
@@ -225,7 +255,12 @@ func (a *Analysis) entryState() *State {
 	return st
 }
 
-// run executes the worklist fixpoint over the CFG.
+// run builds the call graph, computes bottom-up function summaries,
+// and then executes the whole-program worklist fixpoint, applying a
+// callee's summary along each call's fall-through edge (the return
+// site) instead of the old flow-through over-approximation. The
+// EdgeCall edge still carries the (post-push) caller state into the
+// callee body, so callee-internal findings see real calling contexts.
 func (a *Analysis) run() {
 	n := len(a.CFG.Blocks)
 	a.in = make([]*State, n)
@@ -233,46 +268,19 @@ func (a *Analysis) run() {
 	if n == 0 {
 		return
 	}
-	var work []int
+	a.buildFuncs()
+	a.allocParams()
+	a.computeSummaries()
+	seeds := make(map[int]*State)
 	for _, e := range a.CFG.Entries() {
-		a.in[e] = a.entryState()
-		a.reached[e] = true
-		work = append(work, e)
+		seeds[e] = a.entryState()
 	}
-	if len(work) == 0 {
+	if len(seeds) == 0 {
 		// Fully cyclic program: seed block 0 so the analysis still
 		// covers it.
-		a.in[0] = a.entryState()
-		a.reached[0] = true
-		work = append(work, 0)
+		seeds[0] = a.entryState()
 	}
-	// Safety cap: the lattice is finite (taint grows, constants only
-	// decay, tracked cells are bounded by resolved store sites), so the
-	// fixpoint terminates; the cap guards against transfer bugs.
-	for steps := 0; len(work) > 0 && steps < 1000*n+1000; steps++ {
-		b := work[len(work)-1]
-		work = work[:len(work)-1]
-		out := a.in[b].clone()
-		for _, in := range a.CFG.Blocks[b].Insts {
-			a.step(out, in, nil)
-		}
-		for _, e := range a.CFG.Blocks[b].Succs {
-			if e.To < 0 {
-				continue
-			}
-			if !a.reached[e.To] {
-				a.in[e.To] = out.clone()
-				a.reached[e.To] = true
-				work = append(work, e.To)
-				continue
-			}
-			j := a.join(a.in[e.To], out)
-			if !j.equal(a.in[e.To]) {
-				a.in[e.To] = j
-				work = append(work, e.To)
-			}
-		}
-	}
+	a.in, a.reached = a.flow(seeds, nil, true)
 }
 
 // join merges two states at a control-flow merge point: taint unions,
@@ -332,6 +340,13 @@ func (a *Analysis) loadTaint(st *State, in *isa.Inst, size int, hook loadHook) t
 			t |= mv
 		} else {
 			t |= a.rangeSeed(addr, size)
+			if a.inSummary && !inSummaryStack(addr) {
+				// Summary mode: an untracked resolved cell still holds
+				// whatever the caller's memory holds there — the
+				// placeholder memory bit carries that dependence to the
+				// call site, where it substitutes to the caller's view.
+				t |= a.paramMem
+			}
 		}
 		return t
 	}
@@ -391,8 +406,29 @@ func (a *Analysis) step(st *State, in *isa.Inst, hook loadHook) {
 		// Overwrites Dst with the cycle counter: kill.
 		st.Regs[d] = 0
 		st.Const[d] = constVal{}
-	case isa.CALL, isa.CALLI, isa.SYSCALL:
-		// Return-address push; the guest stack is not modelled.
+	case isa.CALL, isa.CALLI:
+		// The reference machine pushes the return address: R15 drops by
+		// 8 and the slot gets a clean (untainted) code address. Modelled
+		// as a strong update when the stack pointer resolves, so a
+		// secret spilled at the same slot earlier is killed and a later
+		// reload of the slot reads untainted.
+		if c := st.Const[15]; c.known {
+			sp := c.v - 8
+			st.Const[15] = constVal{known: true, v: sp}
+			st.Mem[uint64(sp)] = 0
+		}
+	case isa.RET:
+		// Pop: the return target comes from the stack slot (the CFG has
+		// no successor edge here); only the stack-pointer constant
+		// matters — it keeps callee summaries stack-balanced.
+		if c := st.Const[15]; c.known {
+			st.Const[15] = constVal{known: true, v: c.v + 8}
+		}
+	case isa.SYSCALL:
+		// Kernel entry: the return address goes to the machine's
+		// syscall stack, not the guest stack — no register effect here;
+		// the unknown kernel effect is applied at the fall-through edge
+		// (succState havoc).
 	}
 }
 

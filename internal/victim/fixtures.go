@@ -1,6 +1,9 @@
 package victim
 
-import "deaduops/internal/asm"
+import (
+	"deaduops/internal/asm"
+	"deaduops/internal/isa"
+)
 
 // Fixture is one fully linked victim program, ready for static
 // analysis or simulation. The fixtures are the canonical corpus the
@@ -35,6 +38,18 @@ func Fixtures(l Layout) []Fixture {
 			Name:        "indirect-call",
 			Description: "Listing 5: authorization-check victim with secret-indexed indirect call",
 			Prog:        buildIndirectCall(l),
+			Layout:      l,
+		},
+		{
+			Name:        "callee-branch",
+			Description: "interprocedural victim: secret branches in callees, passed by register and by spill",
+			Prog:        buildCalleeBranch(l),
+			Layout:      l,
+		},
+		{
+			Name:        "callee-kill",
+			Description: "interprocedural non-victim: callee sanitizes the secret before the caller branches",
+			Prog:        buildCalleeKill(l),
 			Layout:      l,
 		},
 	}
@@ -85,5 +100,106 @@ func BuildPCIVPD(l Layout) *asm.Program {
 func buildIndirectCall(l Layout) *asm.Program {
 	b := asm.New(FixtureOrg)
 	IndirectCallVictim(b, l, NoFence)
+	return b.MustBuild()
+}
+
+// ScratchSlot is a non-secret scratch location (between AuthAddr and
+// FunTable) that the interprocedural fixtures use to pass a value
+// through memory instead of a register.
+const ScratchSlot = 0x1180
+
+// buildCalleeBranch assembles the interprocedural victim the linter's
+// call-chain output gates on: main performs a pci-vpd-style guarded
+// read at an attacker-influenced offset and hands the loaded byte to
+// two callees — once in the argument register and once spilled through
+// ScratchSlot — and each callee branches on it. The divergent sides of
+// both branches live in distinct, differently sized 64-byte-aligned
+// regions (same construction as BuildPCIVPD's tag handlers) so the
+// footprint-divergence checker has a genuine micro-op cache delta to
+// price across the call boundary, and the transient-window census must
+// attribute the load→branch gadgets as cross-function. R2 is zeroed
+// before the length load so the guard itself stays clean: every
+// finding belongs to a callee.
+func buildCalleeBranch(l Layout) *asm.Program {
+	b := asm.New(FixtureOrg)
+	b.Label("main")
+	b.Xor(isa.R2, isa.R2)
+	b.Load(isa.R3, isa.R2, int64(l.ArraySizeAddr)) // len (flushable guard)
+	b.Cmp(RegArg, isa.R3)
+	b.Jcc(isa.AE, "cb_oob")
+	b.Loadb(RegRet, RegArg, int64(l.ArrayBase)) // transient read of the secret
+	b.Mov(RegArg, RegRet)                       // pass by argument register
+	b.Store(isa.R2, ScratchSlot, RegRet)        // pass by spill slot
+	b.Call("cb_reg")
+	b.Call("cb_mem")
+	b.Halt()
+	b.Label("cb_oob")
+	b.Movi(RegRet, -1)
+	b.Halt()
+
+	// cb_reg branches on the register argument.
+	b.Align(64)
+	b.Label("cb_reg")
+	b.Cmpi(RegArg, 0)
+	b.Jcc(isa.NE, "cb_reg_hot")
+	b.Movi(isa.R4, 1)
+	b.Ret()
+	b.Align(64)
+	b.Org(b.PC() + 0x140) // skew the hot path's region mapping
+	b.Label("cb_reg_hot")
+	b.Movi(isa.R4, 2)
+	b.Nop(8)
+	b.Nop(8)
+	b.Nop(8)
+	b.Nop(8)
+	b.Ret()
+
+	// cb_mem reloads the spilled secret and branches on it.
+	b.Align(64)
+	b.Label("cb_mem")
+	b.Xor(isa.R3, isa.R3)
+	b.Loadb(isa.R3, isa.R3, ScratchSlot)
+	b.Cmpi(isa.R3, 0)
+	b.Jcc(isa.NE, "cb_mem_hot")
+	b.Movi(isa.R5, 1)
+	b.Ret()
+	b.Align(64)
+	b.Org(b.PC() + 0x140)
+	b.Label("cb_mem_hot")
+	b.Movi(isa.R5, 2)
+	b.Addi(isa.R5, 40)
+	b.Nop(8)
+	b.Nop(8)
+	b.Nop(8)
+	b.Nop(8)
+	b.Ret()
+	return b.MustBuild()
+}
+
+// buildCalleeKill assembles the interprocedural non-victim: main loads
+// the same secret byte, but the callee zeroes the register before main
+// branches on it, so every checker must stay silent. This is the
+// false-positive gate for the summary kill-set logic — a linter that
+// ignores callee effects (or havocs them) would flag the branch.
+func buildCalleeKill(l Layout) *asm.Program {
+	b := asm.New(FixtureOrg)
+	b.Label("main")
+	b.Xor(isa.R2, isa.R2)
+	b.Loadb(RegRet, isa.R2, int64(l.SecretBase)) // R0 = secret byte
+	b.Call("ck_sanitize")
+	b.Cmpi(RegRet, 0)
+	b.Jcc(isa.NE, "ck_other")
+	b.Movi(RegRet, 1)
+	b.Halt()
+	b.Align(64)
+	b.Label("ck_other")
+	b.Movi(RegRet, 2)
+	b.Halt()
+
+	// ck_sanitize fully kills the secret it was handed.
+	b.Align(64)
+	b.Label("ck_sanitize")
+	b.Xor(RegRet, RegRet)
+	b.Ret()
 	return b.MustBuild()
 }
