@@ -249,6 +249,13 @@ func (a *Analysis) selfCalls(fi int) bool {
 // It returns nil when the owner is itself a root (no interprocedural
 // context) or unreachable through direct calls (e.g. pure recursion
 // with no external caller).
+//
+// The chain is ONE representative path, not an enumeration: a site
+// with several callers, or in a tail block shared between functions
+// (funcOf picks a single owner), is reachable along other real paths
+// the trace does not show. Findings are computed over the join of all
+// calling contexts, so only the displayed route — never the verdict —
+// depends on this choice.
 func (a *Analysis) callChainTo(addr uint64) []CallFrame {
 	b := a.CFG.BlockOf(addr)
 	if b == nil || a.funcOf == nil || a.funcOf[b.Index] < 0 {

@@ -143,7 +143,10 @@ func TestCanonicalGolden(t *testing.T) {
 // stream, but they stay as regression anchors) — plus seed 6, a
 // callee-spill victim whose reload is subject to the backend's
 // load-after-store ordering stall, and seed 17, a shared-suffix victim
-// whose footprints diverge only in a prefix.
+// whose footprints diverge only in a prefix. Seed 220 (testdata corpus)
+// pins the SignFloor clause: its directions cost within one cycle of
+// each other and prediction and measurement rounded that near-tie to
+// opposite signs.
 func FuzzPredictedDelta(f *testing.F) {
 	for _, seed := range []uint64{1, 4, 6, 8, 9, 10, 15, 17, 52, 1337} {
 		f.Add(seed)

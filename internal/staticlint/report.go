@@ -75,7 +75,9 @@ type SetOccupancy struct {
 // CallFrame is one hop of a finding's interprocedural trace: the call
 // site executed and the callee it enters. A finding inside a function
 // only reachable through calls carries the chain from a caller-less
-// root down to the flagged site, rendered root-first.
+// root down to the flagged site, rendered root-first. The chain is one
+// representative (shortest) path; a site with multiple callers or in a
+// shared tail block has other real paths the trace does not list.
 type CallFrame struct {
 	CallSite    uint64
 	Callee      uint64

@@ -43,6 +43,19 @@ func inSummaryStack(addr uint64) bool {
 	return addr-(summaryStackBase-summaryStackWindow) < 2*summaryStackWindow
 }
 
+// calleeFreshCell reports whether an untracked symbolic-stack address
+// is provably clean during summary computation. The callee enters with
+// SP = summaryStackBase and the CALL-pushed return address (a clean
+// code address) at [SP]; everything it allocates lives strictly below.
+// So cells below summaryStackBase+8 that were never written are fresh
+// stack or the return-address slot. Addresses at summaryStackBase+8
+// and above belong to the CALLER's frame — they can hold caller data
+// (spills, arguments), so an untracked read there must carry the
+// paramMem placeholder, not read as clean.
+func calleeFreshCell(addr uint64) bool {
+	return inSummaryStack(addr) && addr < summaryStackBase+8
+}
+
 // summary is one function's transfer function.
 type summary struct {
 	// havoc: the callee's effect is unknown; the caller must assume any
@@ -179,7 +192,13 @@ func (a *Analysis) summarize(fi int) *summary {
 		// follow; nothing sound can be said about the exit state.
 		return &havocSummary
 	}
-	in, reached := a.flow(map[int]*State{f.EntryBlock: a.paramState()}, f.blockSet, false)
+	in, reached, capped := a.flow(map[int]*State{f.EntryBlock: a.paramState()}, f.blockSet, false)
+	if capped {
+		// A truncated fixpoint under-approximates the transfer and would
+		// be applied at every call site, amplifying the gap; honor the
+		// degrade-to-havoc contract instead.
+		return &havocSummary
+	}
 	var exit *State
 	for _, bi := range f.Blocks {
 		if !reached[bi] {
@@ -298,13 +317,22 @@ func directWrites(in *isa.Inst) uint32 {
 	return 0
 }
 
+// flowStepCap bounds the worklist steps for an n-block flow. The
+// lattice is finite (taint grows, constants only decay, tracked cells
+// are bounded by resolved store sites), so the fixpoint terminates; the
+// cap guards against transfer-function bugs. A var so tests can force
+// exhaustion.
+var flowStepCap = func(n int) int { return 1000*n + 1000 }
+
 // flow is the shared worklist fixpoint: seeds are the initial in-states
 // per block, restrict (when non-nil) confines propagation to one
 // function's body, and followCalls selects whether EdgeCall successors
 // are entered (the whole-program pass descends into callees to analyze
 // their bodies in real calling contexts; summary computation replaces
-// calls with their summaries instead).
-func (a *Analysis) flow(seeds map[int]*State, restrict map[int]bool, followCalls bool) ([]*State, []bool) {
+// calls with their summaries instead). The third result reports whether
+// the safety cap cut the fixpoint short — the in-states are then an
+// under-approximation and callers must degrade, not trust them.
+func (a *Analysis) flow(seeds map[int]*State, restrict map[int]bool, followCalls bool) ([]*State, []bool, bool) {
 	n := len(a.CFG.Blocks)
 	in := make([]*State, n)
 	reached := make([]bool, n)
@@ -317,10 +345,7 @@ func (a *Analysis) flow(seeds map[int]*State, restrict map[int]bool, followCalls
 		in[bi] = seeds[bi]
 		reached[bi] = true
 	}
-	// Safety cap: the lattice is finite (taint grows, constants only
-	// decay, tracked cells are bounded by resolved store sites), so the
-	// fixpoint terminates; the cap guards against transfer bugs.
-	for steps := 0; len(work) > 0 && steps < 1000*n+1000; steps++ {
+	for steps, capSteps := 0, flowStepCap(n); len(work) > 0 && steps < capSteps; steps++ {
 		b := work[len(work)-1]
 		work = work[:len(work)-1]
 		blk := a.CFG.Blocks[b]
@@ -352,7 +377,7 @@ func (a *Analysis) flow(seeds map[int]*State, restrict map[int]bool, followCalls
 			}
 		}
 	}
-	return in, reached
+	return in, reached, len(work) > 0
 }
 
 // succState computes the state flowing along one CFG edge from a block

@@ -307,6 +307,109 @@ func TestGadgetCrossFunction(t *testing.T) {
 	}
 }
 
+func TestCallerSpillSurvivesCalleeStackReload(t *testing.T) {
+	// REVIEW regression (confirmed false negative): the caller spills
+	// the secret at its own [SP], zeroes the register, and calls a
+	// callee that reloads the slot stack-relative — [R15+8] after the
+	// return-address push. The cell is untracked in the callee's
+	// symbolic frame but sits in the CALLER's frame, so the summary
+	// must carry the caller-memory dependence (paramMem), not read it
+	// as clean, and the caller's branch on the returned value must be
+	// flagged.
+	b := asm.New(0x1000)
+	b.Movi(isa.R15, 0x8000)
+	b.Store(isa.R15, 0, isa.R5) // spill the secret at the caller's [SP]
+	b.Movi(isa.R5, 0)           // kill the register copy
+	b.Call("peek")
+	b.Cmpi(isa.R3, 0)
+	branch := b.PC()
+	b.Jcc(isa.NE, "out")
+	b.Label("out")
+	b.Halt()
+	b.Org(0x2000)
+	b.Label("peek")
+	b.Load(isa.R3, isa.R15, 8) // caller's [SP]: one slot above the pushed return address
+	b.Ret()
+	r := lintRegs(b.MustBuild(), isa.R5)
+	fs := r.ByChecker("secret-dependent-branch")
+	if len(fs) != 1 || fs[0].Addr != branch {
+		t.Fatalf("branch findings = %v, want one at %#x (caller-frame reload must stay tainted)", fs, branch)
+	}
+}
+
+func TestCalleeFreshFrameReadStaysClean(t *testing.T) {
+	// Precision control for the caller-frame fix: an untracked cell
+	// strictly below the callee's entry SP is the callee's own fresh
+	// frame — never written, provably clean — so the caller's tainted
+	// memory must NOT smear into a reload from it.
+	b := asm.New(0x1000)
+	b.Movi(isa.R15, 0x8000)
+	b.Store(isa.R15, 0, isa.R5)
+	b.Movi(isa.R5, 0)
+	b.Call("scratch")
+	b.Cmpi(isa.R3, 0)
+	b.Jcc(isa.NE, "out")
+	b.Label("out")
+	b.Halt()
+	b.Org(0x2000)
+	b.Label("scratch")
+	b.Load(isa.R3, isa.R15, -16) // the callee's own (never-written) frame
+	b.Ret()
+	r := lintRegs(b.MustBuild(), isa.R5)
+	if len(r.Findings) != 0 {
+		t.Fatalf("fresh-frame reload raised findings: %v", r.Findings)
+	}
+}
+
+func TestCalleeReturnAddressReadStaysClean(t *testing.T) {
+	// The slot at the callee's entry SP holds the CALL-pushed return
+	// address — a clean code address — so a reload of [R15] inside the
+	// callee stays clean even though it sits at the caller-frame
+	// boundary.
+	b := asm.New(0x1000)
+	b.Movi(isa.R15, 0x8000)
+	b.Store(isa.R15, 0, isa.R5)
+	b.Movi(isa.R5, 0)
+	b.Call("retpeek")
+	b.Cmpi(isa.R3, 0)
+	b.Jcc(isa.NE, "out")
+	b.Label("out")
+	b.Halt()
+	b.Org(0x2000)
+	b.Label("retpeek")
+	b.Load(isa.R3, isa.R15, 0) // the return-address slot itself
+	b.Ret()
+	r := lintRegs(b.MustBuild(), isa.R5)
+	if len(r.Findings) != 0 {
+		t.Fatalf("return-address reload raised findings: %v", r.Findings)
+	}
+}
+
+func TestFlowCapDegradesSummariesToHavoc(t *testing.T) {
+	// A fixpoint cut short by the worklist safety cap yields an
+	// under-approximating transfer; summarize must degrade the function
+	// to havoc instead of letting every call site apply partial facts.
+	old := flowStepCap
+	flowStepCap = func(int) int { return 0 }
+	defer func() { flowStepCap = old }()
+	b := asm.New(0x1000)
+	b.Call("sanitize")
+	b.Halt()
+	b.Org(0x2000)
+	b.Label("sanitize")
+	b.Xor(isa.R0, isa.R0)
+	b.Ret()
+	a := Analyze(b.MustBuild(), Spec{SecretRegs: []isa.Reg{isa.R0}}, DefaultConfig())
+	if len(a.summaries) == 0 {
+		t.Fatal("no summaries computed")
+	}
+	for entry, s := range a.summaries {
+		if !s.havoc {
+			t.Errorf("summary of %#x survived a capped fixpoint: %+v", entry, s)
+		}
+	}
+}
+
 func TestSummaryAppliedInsteadOfFlowThrough(t *testing.T) {
 	// A callee that moves the taint between registers: the caller must
 	// see the taint in the destination, not the source — the summary's

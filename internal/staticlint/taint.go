@@ -280,7 +280,10 @@ func (a *Analysis) run() {
 		// covers it.
 		seeds[0] = a.entryState()
 	}
-	a.in, a.reached = a.flow(seeds, nil, true)
+	// A capped whole-program fixpoint can only miss findings (there is
+	// no summary to poison here); the partial in-states are still the
+	// best available facts, so keep them rather than reporting nothing.
+	a.in, a.reached, _ = a.flow(seeds, nil, true)
 }
 
 // join merges two states at a control-flow merge point: taint unions,
@@ -340,11 +343,15 @@ func (a *Analysis) loadTaint(st *State, in *isa.Inst, size int, hook loadHook) t
 			t |= mv
 		} else {
 			t |= a.rangeSeed(addr, size)
-			if a.inSummary && !inSummaryStack(addr) {
+			if a.inSummary && !calleeFreshCell(addr) {
 				// Summary mode: an untracked resolved cell still holds
 				// whatever the caller's memory holds there — the
 				// placeholder memory bit carries that dependence to the
 				// call site, where it substitutes to the caller's view.
+				// Only the callee's own fresh frame (and the
+				// return-address slot the CALL pushed) is provably clean;
+				// symbolic-stack addresses above it sit in the CALLER's
+				// frame and may hold caller data (e.g. a spilled secret).
 				t |= a.paramMem
 			}
 		}
