@@ -25,12 +25,14 @@ lint:
 	$(GO) run ./cmd/uoplint -selftest
 
 # fuzz runs every native fuzz target for FUZZTIME each: the assembler
-# and legacy-decode invariants, and the differential leakage-prediction
-# contract (predicted vs simulator-measured refill deltas).
+# and legacy-decode invariants, and the two differential contracts —
+# predicted vs simulator-measured refill deltas, and the receiver
+# model's predicted vs attack-measured probe cycles.
 fuzz:
 	$(GO) test ./internal/asm -fuzz FuzzAssemble -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/decode -fuzz FuzzPlanRegion -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/staticlint/difftest -fuzz FuzzPredictedDelta -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/staticlint/difftest -fuzz FuzzProbeModel -fuzztime $(FUZZTIME)
 
 check: build vet test race lint
 	$(MAKE) fuzz FUZZTIME=5s

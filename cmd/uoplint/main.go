@@ -334,6 +334,25 @@ func selfTest(reports []programReport) []string {
 						pr.Program, f.Addr, dir, c.WarmCycles, c.ColdCycles))
 				}
 			}
+			// ... and the receiver model's probe histogram: the
+			// attacker-observed prime+probe timings the finding predicts.
+			h := f.Probe
+			if h == nil {
+				msgs = append(msgs, fmt.Sprintf("%s: divergence finding at %#x lacks a probe histogram", pr.Program, f.Addr))
+				continue
+			}
+			if h.HitCycles <= 0 || h.Taken.Cycles < h.HitCycles || h.Fall.Cycles < h.HitCycles {
+				msgs = append(msgs, fmt.Sprintf("%s: divergence at %#x has implausible probe cycles (hit %d, taken %d, fallthrough %d)",
+					pr.Program, f.Addr, h.HitCycles, h.Taken.Cycles, h.Fall.Cycles))
+			}
+			if h.SeparationFloor != staticlint.ProbeSeparationFloor {
+				msgs = append(msgs, fmt.Sprintf("%s: divergence at %#x states separation floor %.2f, want %.2f",
+					pr.Program, f.Addr, h.SeparationFloor, staticlint.ProbeSeparationFloor))
+			}
+			if h.Distinguishable != (h.SeparationMargin >= h.SeparationFloor) {
+				msgs = append(msgs, fmt.Sprintf("%s: divergence at %#x margin %.2f inconsistent with distinguishable=%v",
+					pr.Program, f.Addr, h.SeparationMargin, h.Distinguishable))
+			}
 		}
 	}
 	return msgs

@@ -66,13 +66,50 @@ func TestGoldenPCIVPD(t *testing.T) {
 	}
 
 	// The divergence findings must carry the leakage quantifier's
-	// numbers: per-direction path costs and the signed probe delta.
+	// numbers — per-direction path costs and the signed probe delta —
+	// and the receiver model's probe histogram: the attacker-observed
+	// prime+probe timings, decision cut, and separation margin.
 	for _, field := range []string{
 		`"taken_cost"`, `"fallthrough_cost"`,
 		`"refill_delta_cycles"`, `"predicted_probe_delta_cycles"`,
+		`"probe_histogram"`, `"predicted_hit_cycles"`,
+		`"direction_cut"`, `"separation_margin"`, `"distinguishable"`,
 	} {
 		if !bytes.Contains(got, []byte(field)) {
 			t.Errorf("pci-vpd golden lacks quantifier field %s", field)
+		}
+	}
+
+	// The histogram's margin verdict in the golden must be internally
+	// coherent with the stated floor.
+	var probed struct {
+		Findings []struct {
+			Checker string `json:"checker"`
+			Probe   *struct {
+				Hit             int     `json:"predicted_hit_cycles"`
+				Margin          float64 `json:"separation_margin"`
+				Floor           float64 `json:"separation_floor"`
+				Distinguishable bool    `json:"distinguishable"`
+			} `json:"probe_histogram"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal(got, &probed); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range probed.Findings {
+		if f.Checker != "dsb-footprint-divergence" {
+			continue
+		}
+		if f.Probe == nil {
+			t.Error("pci-vpd divergence finding lacks probe_histogram")
+			continue
+		}
+		if f.Probe.Hit <= 0 {
+			t.Errorf("probe_histogram hit cycles %d not positive", f.Probe.Hit)
+		}
+		if f.Probe.Distinguishable != (f.Probe.Margin >= f.Probe.Floor) {
+			t.Errorf("probe_histogram margin %.2f vs floor %.2f inconsistent with distinguishable=%v",
+				f.Probe.Margin, f.Probe.Floor, f.Probe.Distinguishable)
 		}
 	}
 }

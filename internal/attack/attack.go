@@ -50,23 +50,13 @@ func (g Geometry) ZebraSets() []int {
 	return codegen.EvenSets(g.NSets, g.FirstSet+stride/2+stride%2)
 }
 
-// tigerNops and tigerNopLen shape each conflict region: two LCP-padded
-// 14-byte NOPs plus the chain jump = 3 µops in 30 bytes, with six
-// cycles of predecoder stall on every legacy decode.
-const (
-	tigerNops   = 2
-	tigerNopLen = 14
-)
-
-// Tiger returns the chain spec of a tiger at base with geometry g.
-// Distinct tigers at different bases but equal geometry conflict; a
-// tiger and the zebra of the same geometry never do.
+// Tiger returns the chain spec of a tiger at base with geometry g:
+// codegen.ProbeChain regions (two LCP-padded 14-byte NOPs plus the
+// chain jump per region) over the geometry's even stripes. Distinct
+// tigers at different bases but equal geometry conflict; a tiger and
+// the zebra of the same geometry never do.
 func Tiger(base uint64, g Geometry, label string) *codegen.ChainSpec {
-	return &codegen.ChainSpec{
-		Base: base, Sets: g.TigerSets(), Ways: g.NWays,
-		NopPerRegion: tigerNops, NopLen: tigerNopLen, LCP: true,
-		Label: label,
-	}
+	return codegen.ProbeChain(base, g.TigerSets(), g.NWays, label)
 }
 
 // FastTiger returns a tiger variant optimized for eviction throughput
@@ -82,11 +72,7 @@ func FastTiger(base uint64, g Geometry, label string) *codegen.ChainSpec {
 
 // Zebra returns the chain spec of the zebra companion at base.
 func Zebra(base uint64, g Geometry, label string) *codegen.ChainSpec {
-	return &codegen.ChainSpec{
-		Base: base, Sets: g.ZebraSets(), Ways: g.NWays,
-		NopPerRegion: tigerNops, NopLen: tigerNopLen, LCP: true,
-		Label: label,
-	}
+	return codegen.ProbeChain(base, g.ZebraSets(), g.NWays, label)
 }
 
 // Routine is an assembled tiger or zebra, runnable on a CPU.
@@ -97,17 +83,13 @@ type Routine struct {
 }
 
 // Build assembles spec into a standalone looped routine (loop count in
-// R14, preset per run). The loop tail is placed in a set adjacent to
-// the chain's first set — outside both a tiger's and its zebra's
-// stripes, so the tail's own line never pollutes a probed set.
+// R14, preset per run). The loop tail is placed in the first set past
+// the chain's first set that the chain does not occupy
+// (codegen.ChainSpec.TailAddr) — outside both a tiger's and its
+// zebra's stripes, and outside an arbitrary probe chain's set list, so
+// the tail's own line never pollutes a probed set.
 func Build(spec *codegen.ChainSpec) (*Routine, error) {
-	tailSet := 0
-	if len(spec.Sets) > 0 {
-		tailSet = (spec.Sets[0] + 1) % (codegen.WayStride / codegen.RegionSize)
-	}
-	tail := spec.Base + uint64(spec.Ways+1)*codegen.WayStride +
-		uint64(tailSet)*codegen.RegionSize
-	prog, err := spec.LoopProgram(tail)
+	prog, err := spec.LoopProgram(spec.TailAddr())
 	if err != nil {
 		return nil, fmt.Errorf("attack: building %s: %w", spec.Label, err)
 	}
@@ -126,55 +108,183 @@ func (r *Routine) Run(c *cpu.CPU, t int, iters int64) (uint64, error) {
 	return res.Cycles, nil
 }
 
+// SeparationFloor is the minimum MissMean/HitMean ratio Calibrate
+// accepts as a usable timing signal: below 1.3× the hit and miss
+// distributions sit within noise of each other and the channel cannot
+// decode bits reliably. The static receiver model
+// (internal/staticlint) holds its predicted separation margins to the
+// same floor.
+const SeparationFloor = 1.3
+
 // Threshold separates µop-cache-hit from µop-cache-miss probe timings.
+//
+// Unit: every cycle field is the elapsed time of ONE probe measurement
+// — i.e. the total cycles of ProbeIters chain traversals — not a
+// per-traversal figure. Thresholds calibrated with different
+// probeIters are therefore in different units; compare across
+// configurations only through PerTraversal.
 type Threshold struct {
+	// HitMean/MissMean are the per-round probe-time averages with the
+	// receiver's sets intact (hit) and evicted by the sender (miss).
 	HitMean  float64
 	MissMean float64
-	Cut      float64
+	// HitMin/HitMax and MissMin/MissMax record each distribution's
+	// per-round spread, so one outlier round is visible instead of
+	// silently folded into a mean.
+	HitMin, HitMax   float64
+	MissMin, MissMax float64
+	// Cut is the decision boundary: the midpoint of the two means,
+	// clamped into the observed gap between HitMax and MissMin so that
+	// an outlier round cannot drag it past either cluster.
+	Cut float64
+	// ProbeIters is the traversal count of one probe measurement — the
+	// unit of every cycle field above. Zero in hand-built thresholds
+	// means the unit is unrecorded.
+	ProbeIters int64
 }
 
-// Hit classifies a probe time.
+// Hit classifies a probe time. The boundary side is deliberate and
+// decode paths must agree with it: a probe landing exactly on Cut
+// classifies as a MISS (strict <), because unexplained extra latency
+// is evidence of eviction — the conservative side for a receiver that
+// must not drop transmitted bits.
 func (th Threshold) Hit(cycles uint64) bool { return float64(cycles) < th.Cut }
 
-// Calibrate measures the receiver tiger's probe time with and without a
-// conflicting sender tiger and returns the decision threshold.
-// The receiver primes with primeIters traversals (enough to reclaim its
-// sets from a hot opponent under the hotness replacement policy) and
-// measures with probeIters (few, so a misowned set cannot be reclaimed
-// mid-measurement). rounds controls the averaging.
-func Calibrate(c *cpu.CPU, receiver, sender *Routine, primeIters, probeIters int64, rounds int) (Threshold, error) {
-	var th Threshold
-	var hitSum, missSum float64
+// Miss is the complement of Hit; decode paths that signal on eviction
+// use it so the exactly-on-Cut convention lives in one place.
+func (th Threshold) Miss(cycles uint64) bool { return !th.Hit(cycles) }
+
+// PerTraversal converts a total-probe-cycles quantity (HitMean,
+// MissMean, Cut, …) to per-traversal cycles using the recorded
+// ProbeIters. With no recorded unit it returns v unchanged.
+func (th Threshold) PerTraversal(v float64) float64 {
+	if th.ProbeIters <= 0 {
+		return v
+	}
+	return v / float64(th.ProbeIters)
+}
+
+// SendFunc is the sender half of one calibration round: whatever
+// eviction activity the opponent performs between the receiver's prime
+// and probe — a conflicting tiger's traversals for the covert channel,
+// or a victim program's runs for the static model's validation
+// harness.
+type SendFunc func() error
+
+// Rounds holds the raw per-round probe timings of one calibration:
+// every hit-round and miss-round measurement, in cycles over
+// ProbeIters traversals.
+type Rounds struct {
+	Hit, Miss  []float64
+	ProbeIters int64
+}
+
+// MeasureRounds runs the calibration protocol and returns the raw
+// per-round timings. Each round measures a hit (prime, then probe with
+// nothing in between) and a miss (prime, sender activity, probe). The
+// receiver primes with primeIters traversals — enough to reclaim its
+// sets from a hot opponent under the hotness replacement policy — and
+// probes with probeIters (few, so a misowned set cannot be reclaimed
+// mid-measurement).
+func MeasureRounds(c *cpu.CPU, receiver *Routine, send SendFunc, primeIters, probeIters int64, rounds int) (Rounds, error) {
+	r := Rounds{ProbeIters: probeIters}
 	for i := 0; i < rounds; i++ {
 		// Hit: prime then probe, nothing in between.
 		if _, err := receiver.Run(c, 0, primeIters); err != nil {
-			return th, err
+			return r, err
 		}
 		hc, err := receiver.Run(c, 0, probeIters)
 		if err != nil {
-			return th, err
+			return r, err
 		}
-		hitSum += float64(hc)
-		// Miss: prime, evict with the sender tiger, probe.
+		r.Hit = append(r.Hit, float64(hc))
+		// Miss: prime, let the sender evict, probe.
 		if _, err := receiver.Run(c, 0, primeIters); err != nil {
-			return th, err
+			return r, err
 		}
-		if _, err := sender.Run(c, 0, primeIters); err != nil {
-			return th, err
+		if err := send(); err != nil {
+			return r, err
 		}
 		mc, err := receiver.Run(c, 0, probeIters)
 		if err != nil {
-			return th, err
+			return r, err
 		}
-		missSum += float64(mc)
+		r.Miss = append(r.Miss, float64(mc))
 	}
-	th.HitMean = hitSum / float64(rounds)
-	th.MissMean = missSum / float64(rounds)
+	return r, nil
+}
+
+func meanMinMax(v []float64) (mean, min, max float64) {
+	min, max = v[0], v[0]
+	for _, x := range v {
+		mean += x
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return mean / float64(len(v)), min, max
+}
+
+// Stats reduces the raw rounds to threshold statistics without
+// judging them: means, per-round spreads, and the cut. The cut starts
+// at the midpoint of the two means; when the observed distributions do
+// not overlap it is clamped into the gap between HitMax and MissMin,
+// so a single outlier round (one anomalously slow miss, say) cannot
+// drag the cut past the rest of its cluster — the failure mode of
+// reducing rounds to running sums alone. Rounds must be non-empty on
+// both sides.
+func (r Rounds) Stats() Threshold {
+	th := Threshold{ProbeIters: r.ProbeIters}
+	th.HitMean, th.HitMin, th.HitMax = meanMinMax(r.Hit)
+	th.MissMean, th.MissMin, th.MissMax = meanMinMax(r.Miss)
 	th.Cut = (th.HitMean + th.MissMean) / 2
+	if th.MissMin > th.HitMax && (th.Cut >= th.MissMin || th.Cut <= th.HitMax) {
+		th.Cut = (th.HitMax + th.MissMin) / 2
+	}
+	return th
+}
+
+// Spread renders both distributions with their per-round extremes for
+// diagnostics.
+func (th Threshold) Spread() string {
+	return fmt.Sprintf("hit %.0f [%.0f..%.0f], miss %.0f [%.0f..%.0f] cycles over %d traversals",
+		th.HitMean, th.HitMin, th.HitMax, th.MissMean, th.MissMin, th.MissMax, th.ProbeIters)
+}
+
+// Threshold reduces the raw rounds to a decision threshold (see
+// Stats). It returns an error — carrying both distributions' spreads,
+// not just the means — when the separation is below SeparationFloor or
+// the distributions overlap.
+func (r Rounds) Threshold() (Threshold, error) {
+	th := Threshold{ProbeIters: r.ProbeIters}
+	if len(r.Hit) == 0 || len(r.Miss) == 0 {
+		return th, fmt.Errorf("attack: no calibration rounds recorded")
+	}
+	th = r.Stats()
 	// Demand meaningful separation, not just a few cycles of noise.
-	if th.MissMean <= th.HitMean*1.3 {
-		return th, fmt.Errorf("attack: no timing signal (hit %.0f, miss %.0f cycles)",
-			th.HitMean, th.MissMean)
+	if th.MissMean <= th.HitMean*SeparationFloor {
+		return th, fmt.Errorf("attack: no timing signal (%s)", th.Spread())
+	}
+	if th.MissMin <= th.HitMax {
+		return th, fmt.Errorf("attack: hit/miss distributions overlap (%s)", th.Spread())
 	}
 	return th, nil
+}
+
+// Calibrate measures the receiver tiger's probe time with and without a
+// conflicting sender tiger (primeIters traversals of it per miss
+// round) and returns the decision threshold. rounds controls the
+// averaging; the per-round spread is kept in the threshold.
+func Calibrate(c *cpu.CPU, receiver, sender *Routine, primeIters, probeIters int64, rounds int) (Threshold, error) {
+	r, err := MeasureRounds(c, receiver, func() error {
+		_, err := sender.Run(c, 0, primeIters)
+		return err
+	}, primeIters, probeIters, rounds)
+	if err != nil {
+		return Threshold{ProbeIters: probeIters}, err
+	}
+	return r.Threshold()
 }

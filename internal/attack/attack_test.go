@@ -1,6 +1,7 @@
 package attack
 
 import (
+	"strings"
 	"testing"
 
 	"deaduops/internal/asm"
@@ -107,6 +108,141 @@ func TestCalibrate(t *testing.T) {
 	}
 	if th.Hit(uint64(th.MissMean)) {
 		t.Error("miss mean classified as hit")
+	}
+}
+
+// TestThresholdBoundary pins the exactly-on-Cut convention: a probe
+// landing exactly on the cut classifies as a miss (strict <), and
+// Miss is Hit's exact complement — the single boundary every decode
+// path in internal/channel routes through.
+func TestThresholdBoundary(t *testing.T) {
+	th := Threshold{HitMean: 100, MissMean: 300, Cut: 200}
+	if !th.Hit(199) {
+		t.Error("below-cut probe classified as miss")
+	}
+	if th.Hit(200) {
+		t.Error("exactly-on-cut probe classified as hit; the convention is miss")
+	}
+	if th.Hit(201) {
+		t.Error("above-cut probe classified as hit")
+	}
+	for _, cy := range []uint64{0, 199, 200, 201, 1 << 40} {
+		if th.Hit(cy) == th.Miss(cy) {
+			t.Errorf("Hit and Miss agree at %d cycles; they must be complements", cy)
+		}
+	}
+}
+
+// TestThresholdOutlierRound is the regression for the running-sum
+// reduction bug: one anomalously slow miss round used to drag the
+// mean-midpoint cut above the rest of the miss cluster, so genuine
+// misses decoded as hits even though the 1.3× separation check passed.
+// The spread-aware reduction clamps the cut into the observed gap.
+func TestThresholdOutlierRound(t *testing.T) {
+	r := Rounds{
+		Hit:        []float64{100, 100, 100, 100},
+		Miss:       []float64{200, 200, 200, 2000},
+		ProbeIters: 5,
+	}
+	th, err := r.Threshold()
+	if err != nil {
+		t.Fatalf("outlier round rejected outright: %v", err)
+	}
+	// Means alone would put the cut at (100+650)/2 = 375, above the
+	// 200-cycle miss cluster.
+	if th.Cut >= th.MissMin {
+		t.Errorf("cut %.0f at or above miss cluster minimum %.0f: outlier dragged it", th.Cut, th.MissMin)
+	}
+	if th.Cut <= th.HitMax {
+		t.Errorf("cut %.0f at or below hit cluster maximum %.0f", th.Cut, th.HitMax)
+	}
+	if th.Hit(200) {
+		t.Error("cluster miss round decodes as hit under the outlier-dragged cut")
+	}
+	if !th.Hit(100) {
+		t.Error("hit round decodes as miss")
+	}
+	if th.MissMin != 200 || th.MissMax != 2000 || th.HitMin != 100 || th.HitMax != 100 {
+		t.Errorf("per-round spread not recorded: %+v", th)
+	}
+}
+
+// TestThresholdSpreadInError asserts the no-signal diagnostic carries
+// both distributions' per-round extremes, not just the means.
+func TestThresholdSpreadInError(t *testing.T) {
+	r := Rounds{Hit: []float64{95, 105}, Miss: []float64{104, 120}, ProbeIters: 7}
+	_, err := r.Threshold()
+	if err == nil {
+		t.Fatal("overlapping sub-floor distributions accepted")
+	}
+	for _, want := range []string{"[95..105]", "[104..120]", "7 traversals"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("no-signal error %q missing spread component %q", err, want)
+		}
+	}
+}
+
+// TestThresholdUnits pins the unit contract: threshold cycle fields
+// are totals over ProbeIters traversals. Calibrating the same channel
+// with twice the probe iterations must roughly double the raw means
+// while the PerTraversal view stays comparable.
+func TestThresholdUnits(t *testing.T) {
+	calibrate := func(probeIters int64) Threshold {
+		g := DefaultGeometry()
+		recv, _ := Build(Tiger(0x40000, g, "recv"))
+		send, _ := Build(Tiger(0x80000, g, "send"))
+		merged, err := asm.Merge(recv.Prog, send.Prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := cpu.New(cpu.Intel())
+		c.LoadProgram(merged)
+		th, err := Calibrate(c, recv, send, 20, probeIters, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return th
+	}
+	th5, th10 := calibrate(5), calibrate(10)
+	if th5.ProbeIters != 5 || th10.ProbeIters != 10 {
+		t.Fatalf("probe unit not recorded: %d, %d", th5.ProbeIters, th10.ProbeIters)
+	}
+	if ratio := th10.HitMean / th5.HitMean; ratio < 1.5 || ratio > 2.5 {
+		t.Errorf("doubling probeIters scaled raw hit mean by %.2f; raw means are totals and must scale", ratio)
+	}
+	// Per-traversal views are unit-normalized: comparable within 30%
+	// (the fixed entry/exit overhead amortizes differently).
+	p5, p10 := th5.PerTraversal(th5.HitMean), th10.PerTraversal(th10.HitMean)
+	if ratio := p10 / p5; ratio < 0.7 || ratio > 1.3 {
+		t.Errorf("per-traversal hit means differ %.2f× across probeIters; normalization broken", ratio)
+	}
+	// Raw cuts across different probeIters are different units: the
+	// 5-iteration miss mean must not clear the 10-iteration cut.
+	if !th10.Hit(uint64(th5.MissMean)) {
+		t.Errorf("5-iteration miss total %.0f read against the 10-iteration cut %.0f decodes as miss; comparing raw units must mislead",
+			th5.MissMean, th10.Cut)
+	}
+}
+
+func TestCalibrateRecordsSpread(t *testing.T) {
+	g := DefaultGeometry()
+	recv, _ := Build(Tiger(0x40000, g, "recv"))
+	send, _ := Build(Tiger(0x80000, g, "send"))
+	merged, _ := asm.Merge(recv.Prog, send.Prog)
+	c := cpu.New(cpu.Intel())
+	c.LoadProgram(merged)
+	th, err := Calibrate(c, recv, send, 20, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.HitMin <= 0 || th.HitMax < th.HitMin || th.MissMin <= 0 || th.MissMax < th.MissMin {
+		t.Errorf("spread fields not populated: %+v", th)
+	}
+	if th.HitMean < th.HitMin || th.HitMean > th.HitMax || th.MissMean < th.MissMin || th.MissMean > th.MissMax {
+		t.Errorf("means outside recorded spreads: %+v", th)
+	}
+	if th.ProbeIters != 5 {
+		t.Errorf("probe unit %d, want 5", th.ProbeIters)
 	}
 }
 

@@ -149,7 +149,7 @@ func (ch *SameAddressSpace) TransmitBit(bit bool) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	return !ch.th.Hit(cycles), nil
+	return ch.th.Miss(cycles), nil
 }
 
 // Transmit sends payload bit-by-bit and returns the received bytes and

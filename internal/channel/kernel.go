@@ -79,30 +79,27 @@ func NewUserKernel(c *cpu.CPU, cfg Config) (*UserKernel, error) {
 	}
 
 	// Calibrate with known secret bits.
-	var hit, miss float64
-	rounds := cfg.CalibrationRounds
-	for i := 0; i < rounds; i++ {
+	rounds := attack.Rounds{ProbeIters: cfg.ProbeIters}
+	for i := 0; i < cfg.CalibrationRounds; i++ {
 		ch.WriteSecret([]byte{0x00})
 		z, err := ch.leakBit(0)
 		if err != nil {
 			return nil, err
 		}
-		hit += float64(z)
+		rounds.Hit = append(rounds.Hit, float64(z))
 		ch.WriteSecret([]byte{0xFF})
 		o, err := ch.leakBit(0)
 		if err != nil {
 			return nil, err
 		}
-		miss += float64(o)
+		rounds.Miss = append(rounds.Miss, float64(o))
 	}
-	ch.th = attack.Threshold{
-		HitMean:  hit / float64(rounds),
-		MissMean: miss / float64(rounds),
-		Cut:      (hit + miss) / (2 * float64(rounds)),
-	}
+	// The syscall trampoline adds constant overhead to both sides, so
+	// the ratio floor does not transfer; accept any positive separation
+	// but keep the per-round spread stats.
+	ch.th = rounds.Stats()
 	if ch.th.MissMean <= ch.th.HitMean {
-		return nil, fmt.Errorf("channel: no user/kernel timing signal (hit %.0f ≥ miss %.0f)",
-			ch.th.HitMean, ch.th.MissMean)
+		return nil, fmt.Errorf("channel: no user/kernel timing signal (%s)", ch.th.Spread())
 	}
 	return ch, nil
 }
@@ -169,7 +166,7 @@ func (ch *UserKernel) LeakBit(bitIndex int64) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	return !ch.th.Hit(cycles), nil
+	return ch.th.Miss(cycles), nil
 }
 
 // Leak recovers n bytes of the kernel secret and returns them with

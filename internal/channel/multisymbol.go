@@ -91,6 +91,10 @@ func (ch *MultiSymbol) TransmitSymbol(sym int) (int, error) {
 		return 0, err
 	}
 	// Decode: the group whose probe overshoots its threshold the most.
+	// This is a relative argmax over cycles/cut ratios, not a boundary
+	// classification, so attack.Threshold's exactly-on-Cut convention
+	// does not apply here: a probe landing exactly on its cut scores
+	// 1.0 and wins only if every other group scored below its own cut.
 	best, bestScore := 0, -1.0
 	for s, r := range ch.recv {
 		cycles, err := r.Run(ch.c, 0, ch.cfg.ProbeIters)

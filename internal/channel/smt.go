@@ -91,24 +91,25 @@ func NewCrossSMT(c *cpu.CPU, cfg Config) (*CrossSMT, error) {
 		}
 	}
 
-	var hit, miss float64
+	rounds := attack.Rounds{ProbeIters: cfg.ProbeIters}
 	for i := 0; i < cfg.CalibrationRounds; i++ {
 		z, err := ch.round(false)
 		if err != nil {
 			return nil, err
 		}
-		hit += float64(z)
+		rounds.Hit = append(rounds.Hit, float64(z))
 		o, err := ch.round(true)
 		if err != nil {
 			return nil, err
 		}
-		miss += float64(o)
+		rounds.Miss = append(rounds.Miss, float64(o))
 	}
-	n := float64(cfg.CalibrationRounds)
-	ch.th = attack.Threshold{HitMean: hit / n, MissMean: miss / n, Cut: (hit + miss) / (2 * n)}
+	// The competitively shared cache gives a weaker contrast than the
+	// same-thread channel, so accept any positive separation instead of
+	// the full SeparationFloor — but keep the per-round spread stats.
+	ch.th = rounds.Stats()
 	if ch.th.MissMean <= ch.th.HitMean {
-		return nil, fmt.Errorf("channel: no cross-SMT timing signal (hit %.0f ≥ miss %.0f)",
-			ch.th.HitMean, ch.th.MissMean)
+		return nil, fmt.Errorf("channel: no cross-SMT timing signal (%s)", ch.th.Spread())
 	}
 	return ch, nil
 }
@@ -139,7 +140,7 @@ func (ch *CrossSMT) TransmitBit(bit bool) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	return !ch.th.Hit(cycles), nil
+	return ch.th.Miss(cycles), nil
 }
 
 // Transmit sends payload bit-by-bit across the SMT boundary.

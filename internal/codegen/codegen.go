@@ -20,6 +20,30 @@ const RegionSize = 32
 // the same set of a 32-set micro-op cache (32 sets × 32 bytes).
 const WayStride = 1024
 
+// TigerNops and TigerNopLen shape one probe/tiger conflict region: two
+// LCP-padded 14-byte NOPs plus the chain jump = 3 µops in 30 bytes,
+// with six cycles of predecoder stall on every legacy decode. The
+// shape is shared by the §IV tiger/zebra functions (internal/attack)
+// and the static receiver model (internal/staticlint), so the probe
+// the model prices is the probe the attack runs.
+const (
+	TigerNops   = 2
+	TigerNopLen = 14
+)
+
+// ProbeChain returns a tiger-shaped chain over an explicit set list:
+// ways regions in each listed set, each region TigerNops LCP-padded
+// NOPs plus the chain jump. Unlike the evenly striped attack tigers,
+// the set list is arbitrary — a receiver probing exactly the divergent
+// sets of a victim uses this form.
+func ProbeChain(base uint64, sets []int, ways int, label string) *ChainSpec {
+	return &ChainSpec{
+		Base: base, Sets: sets, Ways: ways,
+		NopPerRegion: TigerNops, NopLen: TigerNopLen, LCP: true,
+		Label: label,
+	}
+}
+
 // ChainSpec describes a jump chain across micro-op cache sets and ways.
 // The chain visits Ways regions in each listed set (all ways of the
 // first set, then the next set, …), each region holding NopPerRegion
@@ -86,6 +110,33 @@ func (s *ChainSpec) regionBodyBytes() int {
 		body += 3
 	}
 	return body
+}
+
+// BodyBytes returns the encoded size of one region body — the span a
+// fetch range must cover to stream the whole region.
+func (s *ChainSpec) BodyBytes() int { return s.regionBodyBytes() }
+
+// TailAddr returns a loop-tail address clear of the chain: one way
+// stride past the chain's top way, in the first set index after
+// Sets[0] that the chain itself does not occupy. Scanning past the
+// chain's own sets matters when the set list is dense (a receiver
+// probing adjacent divergent sets): the naive "+1" rule would park the
+// tail inside a probed set, and the tail's own line would then pollute
+// the very occupancy the probe measures.
+func (s *ChainSpec) TailAddr() uint64 {
+	nsets := WayStride / RegionSize
+	tailSet := 0
+	if len(s.Sets) > 0 {
+		occupied := make(map[int]bool, len(s.Sets))
+		for _, set := range s.Sets {
+			occupied[set] = true
+		}
+		tailSet = (s.Sets[0] + 1) % nsets
+		for occupied[tailSet] {
+			tailSet = (tailSet + 1) % nsets
+		}
+	}
+	return s.Base + uint64(s.Ways+1)*WayStride + uint64(tailSet)*RegionSize
 }
 
 // UopsPerRegion returns the micro-op count of each region (NOPs, the

@@ -204,7 +204,7 @@ func TestChainMsromEmission(t *testing.T) {
 		if in.UopCount != 8 {
 			t.Errorf("msrom at %#x has UopCount %d, want 8", in.Addr, in.UopCount)
 		}
-		perRegion[in.Addr &^ uint64(RegionSize-1)]++
+		perRegion[in.Addr&^uint64(RegionSize-1)]++
 	}
 	if len(perRegion) != s.Regions() {
 		t.Fatalf("msrom ops span %d regions, want %d", len(perRegion), s.Regions())
@@ -220,5 +220,57 @@ func TestChainMsromEmission(t *testing.T) {
 	c.SetReg(0, isa.R14, 2)
 	if res := c.Run(0, prog.Entry, 1_000_000); res.TimedOut {
 		t.Error("msrom chain timed out")
+	}
+}
+
+// TestProbeChainShape pins the shared tiger region shape: ProbeChain
+// over an arbitrary set list must produce the same region bodies the
+// attack tigers use (two LCP 14-byte NOPs plus the jump).
+func TestProbeChainShape(t *testing.T) {
+	s := ProbeChain(0x40000, []int{3, 7, 19}, 8, "probe")
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.NopPerRegion != TigerNops || s.NopLen != TigerNopLen || !s.LCP {
+		t.Errorf("probe chain shape %+v not tiger-shaped", s)
+	}
+	if s.UopsPerRegion() != 3 {
+		t.Errorf("probe region µops %d, want 3", s.UopsPerRegion())
+	}
+	if got := s.BodyBytes(); got != TigerNops*TigerNopLen+2 {
+		t.Errorf("probe region body %d bytes, want %d", got, TigerNops*TigerNopLen+2)
+	}
+	if s.Regions() != 24 {
+		t.Errorf("regions %d, want 3 sets × 8 ways", s.Regions())
+	}
+}
+
+// TestTailAddrAvoidsChainSets is the regression for the old "+1" tail
+// rule: with a dense set list the tail used to land inside a probed
+// set, polluting the occupancy the probe measures.
+func TestTailAddrAvoidsChainSets(t *testing.T) {
+	cases := [][]int{
+		{4},          // sparse: tail in set 5, as before
+		{1, 2, 3, 4}, // dense ascending: +1 would collide with set 2
+		{31, 0, 1},   // wraps past set 31
+		{5, 9, 6, 7}, // unsorted with a gap
+	}
+	for _, sets := range cases {
+		s := ProbeChain(0x40000, sets, 2, "p")
+		tail := s.TailAddr()
+		tailSet := int(tail / RegionSize % (WayStride / RegionSize))
+		for _, set := range sets {
+			if tailSet == set {
+				t.Errorf("sets %v: tail %#x lands in probed set %d", sets, tail, set)
+			}
+		}
+		lo := s.RegionAddr(minInt(s.Sets), 0)
+		hi := s.RegionAddr(maxInt(s.Sets), s.Ways-1) + RegionSize
+		if tail >= lo && tail < hi {
+			t.Errorf("sets %v: tail %#x inside chain span [%#x,%#x)", sets, tail, lo, hi)
+		}
+		if _, err := s.LoopProgram(tail); err != nil {
+			t.Errorf("sets %v: loop program rejects own tail: %v", sets, err)
+		}
 	}
 }

@@ -32,6 +32,15 @@ type CostTable struct {
 	// calibrated against the cycle-level pipeline and continuously
 	// re-validated by internal/staticlint/difftest.
 	DrainLag int
+	// RunOverhead is the constant start/stop cost of one complete run
+	// on the modelled core: the first fetch's spin-up plus the final
+	// HALT's retire, cycles a pure delivery schedule omits. It appears
+	// identically on the warm and cold sides of a run, so it cancels
+	// out of every refill delta; whole-run pricing adds it so absolute
+	// predicted run cycles line up with what the simulator's cycle
+	// counter reports. Calibrated against internal/cpu and continuously
+	// re-validated by internal/staticlint/difftest.
+	RunOverhead int
 }
 
 // NewCostTable builds the shared table from the two model configs.
@@ -131,4 +140,77 @@ func ceilDiv(a, b int) int {
 		b = 1
 	}
 	return (a + b - 1) / b
+}
+
+// RunRace models the per-cycle race between front-end delivery and
+// the backend drain across one complete run. The per-segment sums
+// above are exact while delivery never outruns the drain width, but a
+// run containing dense legacy-delivered stretches — e.g. uncacheable
+// regions of single-byte macro-ops, decoded at DecodeWidth micro-ops
+// per cycle against a narrower drain — leaves micro-ops queued in the
+// IDQ when delivery ends, and the run retires that backlog after the
+// last fetch: a tail no per-segment sum can see. RunRace replays the
+// delivery schedule cycle for cycle against a DrainWidth-wide
+// consumer, so the tail (and any mid-run catch-up during switch
+// bubbles) is priced exactly. With no DrainWidth configured the race
+// degenerates to the plain delivery-cycle count.
+type RunRace struct {
+	t      CostTable
+	queue  int
+	cycles int
+}
+
+// NewRunRace starts a race priced with t's widths.
+func (t CostTable) NewRunRace() *RunRace { return &RunRace{t: t} }
+
+// step advances one cycle delivering n micro-ops into the queue and
+// draining up to the drain width out of it.
+func (r *RunRace) step(n int) {
+	r.cycles++
+	r.queue += n
+	d := r.t.DrainWidth
+	if d <= 0 {
+		r.queue = 0
+		return
+	}
+	if d > r.queue {
+		d = r.queue
+	}
+	r.queue -= d
+}
+
+// Stream delivers one resident trace of uops micro-ops out of the
+// micro-op cache at the stream width. A hit costs no bubble: delivery
+// starts on the probe cycle itself.
+func (r *RunRace) Stream(uops int) {
+	for uops > 0 {
+		n := r.t.StreamWidth()
+		if n > uops {
+			n = uops
+		}
+		r.step(n)
+		uops -= n
+	}
+}
+
+// MITE prices one legacy-delivered segment: the DSB probe cycle, the
+// switch-penalty stall, then the plan's slot schedule cycle for cycle
+// (predecode and LCP stalls are its empty slots).
+func (r *RunRace) MITE(plan *RegionPlan) {
+	r.step(0)
+	for i := 0; i < r.t.Cache.SwitchPenalty; i++ {
+		r.step(0)
+	}
+	for _, slot := range plan.Slots {
+		r.step(len(slot))
+	}
+}
+
+// Finish drains the remaining queue and returns the run's total
+// front-end-plus-drain cycles.
+func (r *RunRace) Finish() int {
+	for r.queue > 0 {
+		r.step(0)
+	}
+	return r.cycles
 }

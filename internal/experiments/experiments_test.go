@@ -261,6 +261,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig3a", "fig3b", "fig4", "fig5", "fig6a", "fig6b",
 		"fig7a", "fig7b", "fig8", "fig9", "fig10", "table1", "table2",
 		"mitigations", "capacity", "invisispec", "leakpredict",
+		"probemodel",
 	}
 	for _, id := range want {
 		if _, ok := Registry[id]; !ok {

@@ -244,6 +244,16 @@ func (c FootprintDivergenceChecker) Check(a *Analysis) []Finding {
 		}
 		msg += fmt.Sprintf("; predicted refill taken +%dc vs fallthrough +%dc (probe delta %+dc)",
 			takenCost.RefillDelta, fallCost.RefillDelta, delta)
+
+		// Receiver model: predict the prime/probe timing histogram an
+		// attacker measuring the divergent sets would collect. A model
+		// failure (e.g. disabled by config) degrades the finding, not
+		// the run.
+		probe, perr := ProbeModel(a.Cfg, taken, fall, div)
+		if perr == nil {
+			msg += fmt.Sprintf("; attacker probe separation %.2f× (floor %.2f×)",
+				probe.SeparationMargin, probe.SeparationFloor)
+		}
 		out = append(out, Finding{
 			Checker:          c.Name(),
 			Severity:         SevError,
@@ -258,6 +268,7 @@ func (c FootprintDivergenceChecker) Check(a *Analysis) []Finding {
 			TakenCost:        &takenCost,
 			FallCost:         &fallCost,
 			ProbeDeltaCycles: delta,
+			Probe:            probe,
 		})
 	}
 	return out

@@ -49,8 +49,13 @@ const (
 	// suffixBase hosts ShapeSharedSuffix's common tail chain both
 	// directions rejoin before the exit.
 	suffixBase = takenBase + 0x4000
+	// uncFallBase/uncTakenBase host ShapeUncacheable's per-direction
+	// uncacheable tail chains (single-way, so each stays within one
+	// WayStride of its base).
+	uncFallBase  = takenBase + 0x8000
+	uncTakenBase = takenBase + 0xC000
 	// exitAddr hosts the shared exit block both chains jump to.
-	exitAddr = takenBase + 0x8000
+	exitAddr = takenBase + 0x10000
 
 	maxCycles = 200_000
 	trainRuns = 3
@@ -84,6 +89,12 @@ const (
 	// ShapeSharedSuffix makes both directions rejoin a shared suffix
 	// chain before the exit, so only a prefix of the footprint diverges.
 	ShapeSharedSuffix
+	// ShapeUncacheable appends a tail chain of uncacheable regions
+	// (more µops than MaxLinesPerRegion ways can hold) to each
+	// direction: MITE-delivered on every fetch, excluded from the
+	// probe-visible footprint, and delta-neutral between warm and cold
+	// runs — the placement-rule edge the quantifier must price as zero.
+	ShapeUncacheable
 )
 
 // String implements fmt.Stringer.
@@ -99,6 +110,8 @@ func (s Shape) String() string {
 		return "nested"
 	case ShapeSharedSuffix:
 		return "shared-suffix"
+	case ShapeUncacheable:
+		return "uncacheable"
 	default:
 		return "shape?"
 	}
@@ -128,6 +141,9 @@ type Victim struct {
 	Taken, Fall codegen.ChainSpec
 	// Suffix is the shared tail chain (ShapeSharedSuffix only).
 	Suffix *codegen.ChainSpec
+	// TakenUnc and FallUnc are the per-direction uncacheable tail
+	// chains (ShapeUncacheable only).
+	TakenUnc, FallUnc *codegen.ChainSpec
 }
 
 // Spec declares the generated victims' secret byte. The spill slot is
@@ -254,6 +270,22 @@ func nopLen(r *rng, count, budget int) int {
 	return 1 + r.intn(max)
 }
 
+// uncChainShape draws one of ShapeUncacheable's tail chains: one way
+// of one or two sets, each region packed with more single-byte NOPs
+// than MaxLinesPerRegion lines can hold — the placement rules reject
+// the trace, so the region is MITE-delivered on every fetch and never
+// appears in the cache footprint.
+func uncChainShape(r *rng, base uint64, lo, hi int, label string) codegen.ChainSpec {
+	s := codegen.ChainSpec{Base: base, Label: label}
+	// 20..30 µops per region against the Skylake limit of
+	// MaxLinesPerRegion × SlotsPerLine = 18.
+	s.NopPerRegion = 19 + r.intn(11)
+	s.NopLen = 1
+	s.Sets = pickSets(r, 1+r.intn(2), lo, hi, -1)
+	s.Ways = 1
+	return s
+}
+
 // suffixShape draws ShapeSharedSuffix's small common tail chain: one
 // or two regions in sets 30/31 (untouched by either direction's set
 // pool), one way, plain short NOPs — a tail both directions fetch, so
@@ -282,13 +314,13 @@ func suffixShape(r *rng) codegen.ChainSpec {
 // and the two directions' chain set pools are disjoint.
 func Generate(seed uint64) (*Victim, error) {
 	r := rng{x: seed}
-	shape := Shape(r.intn(5))
+	shape := Shape(r.intn(6))
 	v := &Victim{Seed: seed, Shape: shape}
 	b := asm.New(entryBase)
 	b.Label("entry")
 	var branch uint64
 	switch shape {
-	case ShapeLeaf, ShapeNested, ShapeSharedSuffix:
+	case ShapeLeaf, ShapeNested, ShapeSharedSuffix, ShapeUncacheable:
 		// Fall chain: lives in the entry chain's low half; its first
 		// region is the one the branch cascade falls through into (set 1
 		// after the entry region, set 2 when the nested region follows).
@@ -383,7 +415,16 @@ func Generate(seed uint64) (*Victim, error) {
 		v.Suffix = &s
 		exitLabel = s.EntryLabel()
 	}
-	if err := v.Fall.Emit(b, exitLabel); err != nil {
+	fallExit, takenExit := exitLabel, exitLabel
+	if shape == ShapeUncacheable {
+		// Each direction's cacheable chain drains into its own
+		// uncacheable tail before the shared exit.
+		fu := uncChainShape(&r, uncFallBase, 2, 15, "fallunc")
+		tu := uncChainShape(&r, uncTakenBase, 16, 31, "takenunc")
+		v.FallUnc, v.TakenUnc = &fu, &tu
+		fallExit, takenExit = fu.EntryLabel(), tu.EntryLabel()
+	}
+	if err := v.Fall.Emit(b, fallExit); err != nil {
 		return nil, fmt.Errorf("difftest seed %d (%s): fall chain: %w", seed, shape, err)
 	}
 	if shape == ShapeNested {
@@ -391,12 +432,20 @@ func Generate(seed uint64) (*Victim, error) {
 		b.Label("nested_out")
 		b.Jmp("exit")
 	}
-	if err := v.Taken.Emit(b, exitLabel); err != nil {
+	if err := v.Taken.Emit(b, takenExit); err != nil {
 		return nil, fmt.Errorf("difftest seed %d (%s): taken chain: %w", seed, shape, err)
 	}
 	if v.Suffix != nil {
 		if err := v.Suffix.Emit(b, "exit"); err != nil {
 			return nil, fmt.Errorf("difftest seed %d (%s): suffix chain: %w", seed, shape, err)
+		}
+	}
+	if v.FallUnc != nil {
+		if err := v.FallUnc.Emit(b, "exit"); err != nil {
+			return nil, fmt.Errorf("difftest seed %d (%s): fall uncacheable tail: %w", seed, shape, err)
+		}
+		if err := v.TakenUnc.Emit(b, "exit"); err != nil {
+			return nil, fmt.Errorf("difftest seed %d (%s): taken uncacheable tail: %w", seed, shape, err)
 		}
 	}
 	b.Org(exitAddr)
@@ -428,9 +477,11 @@ type Prediction struct {
 // generated branch, and prices each secret direction as one
 // whole-program fetch path: the shared prefix (entry region through
 // the branch) concatenated with that direction's successor walk. A
-// single CostRanges call per direction means the backend drain bound —
-// and its pipeline-fill lag — applies once per run, exactly as the
-// measurement side pays it.
+// single RunCost call per direction prices the path as one complete
+// run — the backend drain bound and its pipeline-fill lag apply once,
+// the delivery/drain race is replayed cycle for cycle, and the run
+// start/stop overhead lands on both sides — exactly as the measurement
+// side pays them.
 func Predict(v *Victim) (Prediction, error) {
 	a := staticlint.Analyze(v.Prog, Spec(), Config())
 	var found *staticlint.Finding
@@ -592,6 +643,9 @@ func (r Result) Describe() string {
 	d := fmt.Sprintf("%s: taken %s, fall %s", v.Shape, describeChain(v.Taken), describeChain(v.Fall))
 	if v.Suffix != nil {
 		d += fmt.Sprintf(", suffix %s", describeChain(*v.Suffix))
+	}
+	if v.FallUnc != nil {
+		d += fmt.Sprintf(", taken-unc %s, fall-unc %s", describeChain(*v.TakenUnc), describeChain(*v.FallUnc))
 	}
 	return d
 }

@@ -56,7 +56,9 @@ func TestGenerateDeterministic(t *testing.T) {
 		if v1.Branch != v2.Branch || v1.Shape != v2.Shape ||
 			!reflect.DeepEqual(v1.Taken, v2.Taken) ||
 			!reflect.DeepEqual(v1.Fall, v2.Fall) ||
-			!reflect.DeepEqual(v1.Suffix, v2.Suffix) {
+			!reflect.DeepEqual(v1.Suffix, v2.Suffix) ||
+			!reflect.DeepEqual(v1.TakenUnc, v2.TakenUnc) ||
+			!reflect.DeepEqual(v1.FallUnc, v2.FallUnc) {
 			t.Errorf("seed %d: generation not deterministic:\n%+v\n%+v", seed, v1, v2)
 		}
 		p1, err := Predict(v1)
@@ -74,13 +76,14 @@ func TestGenerateDeterministic(t *testing.T) {
 	}
 }
 
-// canonicalSeeds pin one victim per control-flow shape: seed 1 is a
-// leaf, seed 10 branches in a callee on a register argument, seed 8
-// branches in a callee on a reloaded spill, seed 4 nests a second
-// secret branch, and seed 17 rejoins a shared suffix. Their predicted
-// and measured deltas are pinned in testdata/canonical.golden; run
-// with -update after an intentional cost-model change.
-var canonicalSeeds = []uint64{1, 4, 8, 10, 17}
+// canonicalSeeds pin one victim per control-flow shape: seed 19 is a
+// leaf, seed 0 branches in a callee on a register argument, seed 5
+// branches in a callee on a reloaded spill, seed 3 nests a second
+// secret branch, seed 2 rejoins a shared suffix, and seed 1 drains
+// each direction into an uncacheable tail chain. Their predicted and
+// measured deltas are pinned in testdata/canonical.golden; run with
+// -update after an intentional cost-model change.
+var canonicalSeeds = []uint64{0, 1, 2, 3, 5, 19}
 
 type canonicalRecord struct {
 	Seed      uint64 `json:"seed"`
@@ -144,11 +147,15 @@ func TestCanonicalGolden(t *testing.T) {
 // callee-spill victim whose reload is subject to the backend's
 // load-after-store ordering stall, and seed 17, a shared-suffix victim
 // whose footprints diverge only in a prefix. Seed 220 (testdata corpus)
-// pins the SignFloor clause: its directions cost within one cycle of
-// each other and prediction and measurement rounded that near-tie to
-// opposite signs.
+// originally pinned the SignFloor clause with a near-tie rounded to
+// opposite signs; it stays as a near-tie anchor. Seeds 1, 61, 88, and
+// 199 are uncacheable-shape victims whose dense single-byte tails
+// decode faster than the backend drains: under per-segment summing
+// they under-predicted each direction's delta by a 26–46% retire-tail
+// gap, which is what forced whole-run pricing onto the cycle-for-cycle
+// delivery/drain race (decode.RunRace).
 func FuzzPredictedDelta(f *testing.F) {
-	for _, seed := range []uint64{1, 4, 6, 8, 9, 10, 15, 17, 52, 1337} {
+	for _, seed := range []uint64{1, 4, 6, 8, 9, 10, 15, 17, 52, 61, 88, 199, 1337} {
 		f.Add(seed)
 	}
 	f.Fuzz(func(t *testing.T, seed uint64) {

@@ -49,6 +49,7 @@ func (c Config) Costs() decode.CostTable {
 	t := decode.NewCostTable(c.Decode, c.UopCache)
 	t.DrainWidth = c.DrainWidth
 	t.DrainLag = c.DrainLag
+	t.RunOverhead = c.RunOverhead
 	return t
 }
 
@@ -61,13 +62,23 @@ func (a *Analysis) CostRanges(ranges []uopcache.Range) PathCost {
 	return a.costRanges(ranges, false)
 }
 
-// RunCost prices ranges as one complete program run. Unlike CostRanges
-// — the marginal cost of a path inside a longer run — a standalone
-// run's warm bound also pays the pipeline-fill lag: the retire stream
-// trails dispatch by the machine's depth, which a drain-bound warm run
-// exposes and a fetch-bound cold run hides inside its delivery
-// schedule. This is the quantity internal/staticlint/difftest measures
-// end to end on the simulator.
+// RunCost prices ranges as one complete program run — the quantity
+// internal/staticlint/difftest measures end to end on the simulator.
+// Unlike CostRanges — the marginal cost of a path inside a longer run
+// — a standalone run pays three things the marginal sums hide:
+//
+//   - the pipeline-fill lag: the retire stream trails dispatch by the
+//     machine's depth, which a drain-bound warm run exposes and a
+//     fetch-bound cold run hides inside its delivery schedule
+//     (decode.CostTable.DrainLag, via DrainBound);
+//   - the delivery/drain race: legacy delivery of dense segments
+//     (uncacheable regions of single-byte macro-ops decode at
+//     DecodeWidth > the drain width) leaves an IDQ backlog the run
+//     retires after the last fetch, and switch bubbles let the
+//     backend catch up mid-run — both sides are replayed cycle for
+//     cycle by decode.RunRace instead of summed per segment;
+//   - the constant run start/stop overhead
+//     (decode.CostTable.RunOverhead), identical warm and cold.
 func (a *Analysis) RunCost(ranges []uopcache.Range) PathCost {
 	return a.costRanges(ranges, true)
 }
@@ -77,28 +88,49 @@ func (a *Analysis) costRanges(ranges []uopcache.Range, wholeRun bool) PathCost {
 	var pc PathCost
 	streamCycles := 0 // warm front-end cycles across cacheable segments
 	cacheableUops := 0
+	warmRace, coldRace := ct.NewRunRace(), ct.NewRunRace()
 	for _, seg := range uopcache.SegmentRanges(a.Cfg.UopCache, a.Prog, ranges) {
 		rc := ct.Region(seg.Region, seg.Entry, seg.Insts)
 		pc.Uops += rc.Uops
-		pc.ColdCycles += rc.ColdCycles
 		pc.LCPStallCycles += rc.LCPStallCycles
 		pc.MSROMUops += rc.MSROMUops
+		if !wholeRun {
+			pc.ColdCycles += rc.ColdCycles
+			if rc.Cacheable {
+				streamCycles += rc.WarmCycles
+				cacheableUops += rc.Uops
+			} else {
+				pc.UncacheableRegions++
+				pc.WarmCycles += rc.WarmCycles // MITE on every traversal
+			}
+			continue
+		}
+		plan := decode.PlanRegion(a.Cfg.Decode, seg.Insts)
+		coldRace.MITE(plan)
 		if rc.Cacheable {
-			streamCycles += rc.WarmCycles
-			cacheableUops += rc.Uops
+			warmRace.Stream(rc.Uops)
 		} else {
 			pc.UncacheableRegions++
-			pc.WarmCycles += rc.WarmCycles // MITE on every traversal
+			warmRace.MITE(plan)
 		}
 	}
-	drain := ct.DrainCycles(cacheableUops)
 	if wholeRun {
-		drain = ct.DrainBound(cacheableUops)
+		// Warm is the slower of the delivery/drain race and the backend
+		// drain bound over every micro-op of the run (uncacheable
+		// segments drain through the same backend, so they count).
+		warm := warmRace.Finish()
+		if b := ct.DrainBound(pc.Uops); b > warm {
+			warm = b
+		}
+		pc.WarmCycles = warm + ct.RunOverhead
+		pc.ColdCycles = coldRace.Finish() + ct.RunOverhead
+	} else {
+		drain := ct.DrainCycles(cacheableUops)
+		if drain > streamCycles {
+			streamCycles = drain
+		}
+		pc.WarmCycles += streamCycles
 	}
-	if drain > streamCycles {
-		streamCycles = drain
-	}
-	pc.WarmCycles += streamCycles
 	pc.RefillDelta = pc.ColdCycles - pc.WarmCycles
 	return pc
 }

@@ -120,6 +120,10 @@ type Finding struct {
 	// ProbeDeltaCycles is the signed headline number: the taken path's
 	// refill penalty minus the fall-through path's.
 	ProbeDeltaCycles int `json:"-"`
+	// Probe is the receiver model's predicted prime/probe timing
+	// histogram for a divergence finding (nil when inapplicable or the
+	// model is disabled).
+	Probe *ProbeHistogram `json:"-"`
 }
 
 // callFrameJSON is CallFrame's wire form (hex addresses).
@@ -148,6 +152,7 @@ type findingJSON struct {
 	TakenCost        *PathCost       `json:"taken_cost,omitempty"`
 	FallCost         *PathCost       `json:"fallthrough_cost,omitempty"`
 	ProbeDeltaCycles *int            `json:"predicted_probe_delta_cycles,omitempty"`
+	Probe            *ProbeHistogram `json:"probe_histogram,omitempty"`
 }
 
 func callChainJSON(chain []CallFrame) []callFrameJSON {
@@ -187,6 +192,7 @@ func (f Finding) MarshalJSON() ([]byte, error) {
 		DivergentSets:  f.DivergentSets,
 		TakenCost:      f.TakenCost,
 		FallCost:       f.FallCost,
+		Probe:          f.Probe,
 	}
 	if f.TakenCost != nil || f.FallCost != nil {
 		d := f.ProbeDeltaCycles
@@ -223,6 +229,16 @@ func (f Finding) String() string {
 			f.TakenCost.WarmCycles, f.TakenCost.ColdCycles, f.TakenCost.RefillDelta,
 			f.FallCost.WarmCycles, f.FallCost.ColdCycles, f.FallCost.RefillDelta,
 			f.ProbeDeltaCycles)
+	}
+	if p := f.Probe; p != nil {
+		verdict := "below floor — not decodable by a total-time probe"
+		if p.Distinguishable {
+			verdict = fmt.Sprintf("decodable (floor %.2f×)", p.SeparationFloor)
+		}
+		fmt.Fprintf(&b, "\n    predicted probe: hit %d, taken %d (%d misses), fallthrough %d (%d misses) cycles over %d traversals; direction cut %.0f, separation %.2f× — %s",
+			p.HitCycles, p.Taken.Cycles, p.Taken.ProbeMisses,
+			p.Fall.Cycles, p.Fall.ProbeMisses, p.ProbeIters,
+			p.DirectionCut, p.SeparationMargin, verdict)
 	}
 	return b.String()
 }

@@ -59,9 +59,28 @@ type Config struct {
 	// DrainLag is the pipeline-fill depth a drain-bound warm run pays
 	// on top of the drain cycles (see decode.CostTable.DrainLag).
 	DrainLag int
+	// RunOverhead is the constant start/stop cost of one complete run
+	// on the modelled core (see decode.CostTable.RunOverhead). It
+	// cancels out of refill deltas; whole-run pricing (RunCost) adds
+	// it so absolute warm/cold predictions match the simulator's run
+	// cycle counts.
+	RunOverhead int
 	// GadgetWindow bounds the transient window of the gadget checkers,
 	// in macro-ops past the guard (the legacy scanner used 24).
 	GadgetWindow int
+	// ProbeIters is the receiver model's probe traversal count — the
+	// attack.Calibrate protocol's "samples" knob the predicted probe
+	// histograms are stated in. Zero disables the receiver model.
+	ProbeIters int
+	// PrimeTraversals is the receiver model's priming traversal count,
+	// recorded in the histograms so the measurement protocol they
+	// predict is explicit: enough traversals to reclaim every probed
+	// set from a hot victim under the hotness replacement policy.
+	PrimeTraversals int
+	// VictimRuns is how many times the modelled protocol lets the
+	// victim execute between prime and probe — enough for the victim's
+	// footprint to wear down the primed receiver and install.
+	VictimRuns int
 	// Checkers selects which checkers run; nil means all.
 	Checkers []Checker
 }
@@ -74,15 +93,28 @@ type Config struct {
 // by the differential harness in internal/staticlint/difftest.
 const DefaultDrainLag = 6
 
+// DefaultRunOverhead is the modelled core's constant per-run
+// start/stop cost in cycles: the first fetch's spin-up plus the final
+// HALT's retire. It is identical on the warm and cold sides of a run
+// (so no refill delta contains it) and was calibrated the same way as
+// DefaultDrainLag: fit once against internal/cpu run cycle counts,
+// then held to ±25% of measurement per direction by the differential
+// harness across every victim shape.
+const DefaultRunOverhead = 3
+
 // DefaultConfig returns the Skylake-modelled analysis configuration.
 func DefaultConfig() Config {
 	return Config{
 		UopCache:     uopcache.Skylake(),
 		Decode:       decode.Skylake(),
 		PathBudget:   48,
-		DrainWidth:   backend.DefaultConfig().DispatchWidth,
-		DrainLag:     DefaultDrainLag,
-		GadgetWindow: 24,
+		DrainWidth:      backend.DefaultConfig().DispatchWidth,
+		DrainLag:        DefaultDrainLag,
+		RunOverhead:     DefaultRunOverhead,
+		GadgetWindow:    24,
+		ProbeIters:      DefaultProbeIters,
+		PrimeTraversals: DefaultPrimeTraversals,
+		VictimRuns:      DefaultVictimRuns,
 	}
 }
 
