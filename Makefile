@@ -4,7 +4,7 @@ GO ?= go
 # for a real fuzzing session (e.g. make fuzz FUZZTIME=10m).
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet lint fuzz check
+.PHONY: build test race vet lint fuzz check bench-json
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,19 @@ vet:
 # expectations (exit 1 on mismatch).
 lint:
 	$(GO) run ./cmd/uoplint -selftest
+
+# bench-json snapshots the benchmark suite as BENCH_<date>.json via
+# cmd/benchjson: one record per benchmark with ns/op, allocs/op, and
+# every custom metric (sim-cycles/s, sim-Kbit/s, …). BENCHTIME=1x keeps
+# the snapshot cheap enough for CI; raise it locally (e.g.
+# make bench-json BENCHTIME=2s) for a low-noise baseline.
+BENCHTIME ?= 1x
+BENCHDATE ?= $(shell date -u +%Y-%m-%d)
+
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) -benchmem . \
+		| $(GO) run ./cmd/benchjson > BENCH_$(BENCHDATE).json
+	@echo wrote BENCH_$(BENCHDATE).json
 
 # fuzz runs every native fuzz target for FUZZTIME each: the assembler
 # and legacy-decode invariants, and the two differential contracts —

@@ -7,7 +7,10 @@
 package deaduops_test
 
 import (
+	"runtime"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"deaduops/internal/attack"
 	"deaduops/internal/channel"
@@ -174,7 +177,9 @@ func BenchmarkClassicSpectreLeakByte(b *testing.B) {
 }
 
 // BenchmarkSimulatorThroughput measures raw simulation speed: simulated
-// cycles per second of host time on a µop-cache-resident loop.
+// cycles per second of host time on a µop-cache-resident loop, plus
+// heap allocations per simulated cycle (pinned near zero by the
+// steady-state pools; see internal/cpu's TestSteadyStateRunAllocs).
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	tiger, err := attack.Build(attack.Tiger(0x40000, attack.DefaultGeometry(), "bench"))
 	if err != nil {
@@ -185,7 +190,10 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	if _, err := tiger.Run(c, 0, 10); err != nil {
 		b.Fatal(err)
 	}
+	var ms0 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
 	b.ResetTimer()
+	start := time.Now()
 	var cycles uint64
 	for i := 0; i < b.N; i++ {
 		n, err := tiger.Run(c, 0, 100)
@@ -194,7 +202,49 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		}
 		cycles += n
 	}
+	elapsed := time.Since(start)
+	var ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms1)
 	b.ReportMetric(float64(cycles)/float64(b.N), "sim-cycles/op")
+	if elapsed > 0 {
+		b.ReportMetric(float64(cycles)/elapsed.Seconds(), "sim-cycles/s")
+	}
+	if cycles > 0 {
+		b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/float64(cycles), "allocs/sim-cycle")
+	}
+}
+
+// BenchmarkSimulatorThroughputParallel runs one independent simulated
+// core per worker goroutine — the parallel-sweep workload shape — and
+// reports aggregate simulated cycles per second across all workers.
+func BenchmarkSimulatorThroughputParallel(b *testing.B) {
+	spec := attack.Tiger(0x40000, attack.DefaultGeometry(), "bench")
+	var cycles atomic.Uint64
+	b.ResetTimer()
+	start := time.Now()
+	b.RunParallel(func(pb *testing.PB) {
+		tiger, err := attack.Build(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c := cpu.New(cpu.Intel())
+		c.LoadProgram(tiger.Prog)
+		if _, err := tiger.Run(c, 0, 10); err != nil {
+			b.Fatal(err)
+		}
+		var local uint64
+		for pb.Next() {
+			n, err := tiger.Run(c, 0, 100)
+			if err != nil {
+				b.Fatal(err)
+			}
+			local += n
+		}
+		cycles.Add(local)
+	})
+	if elapsed := time.Since(start); elapsed > 0 {
+		b.ReportMetric(float64(cycles.Load())/elapsed.Seconds(), "sim-cycles/s")
+	}
 }
 
 // BenchmarkRSCodec measures the Reed-Solomon encode+decode pipeline

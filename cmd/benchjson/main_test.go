@@ -1,0 +1,52 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	b, ok := parseLine("BenchmarkSimulatorThroughput-8 \t 100\t 3344813 ns/op\t 0 allocs/sim-cycle\t 4914 sim-cycles/op\t 1469550 sim-cycles/s")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if b.Name != "BenchmarkSimulatorThroughput" || b.Procs != 8 {
+		t.Errorf("name/procs = %q/%d", b.Name, b.Procs)
+	}
+	if b.Iterations != 100 || b.NsPerOp != 3344813 {
+		t.Errorf("iters/ns = %d/%g", b.Iterations, b.NsPerOp)
+	}
+	if got := b.Metrics["sim-cycles/s"]; got != 1469550 {
+		t.Errorf("sim-cycles/s = %g", got)
+	}
+	if got := b.Metrics["allocs/sim-cycle"]; got != 0 {
+		t.Errorf("allocs/sim-cycle = %g", got)
+	}
+}
+
+func TestParseLineMemFields(t *testing.T) {
+	b, ok := parseLine("BenchmarkRSCodec-4   	 500	  2000 ns/op	 256.00 MB/s	 128 B/op	   3 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if b.BytesPerOp == nil || *b.BytesPerOp != 128 {
+		t.Errorf("B/op = %v", b.BytesPerOp)
+	}
+	if b.AllocsOp == nil || *b.AllocsOp != 3 {
+		t.Errorf("allocs/op = %v", b.AllocsOp)
+	}
+	if got := b.Metrics["MB/s"]; got != 256 {
+		t.Errorf("MB/s = %g", got)
+	}
+}
+
+func TestParseLineRejectsNonResults(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"pkg: deaduops",
+		"PASS",
+		"BenchmarkFoo", // no fields
+		"Benchmark names only: not a result",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parsed non-result line %q", line)
+		}
+	}
+}

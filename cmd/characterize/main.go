@@ -14,12 +14,13 @@ import (
 
 func main() {
 	var (
-		iters  = flag.Int("iters", 60, "measurement loop iterations")
-		warmup = flag.Int("warmup", 15, "warm-up iterations")
+		iters   = flag.Int("iters", 60, "measurement loop iterations")
+		warmup  = flag.Int("warmup", 15, "warm-up iterations")
+		workers = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
-	opts := experiments.Options{Iterations: *iters, Warmup: *warmup}
+	opts := experiments.Options{Iterations: *iters, Warmup: *warmup, Workers: *workers}
 	suite := []string{"fig3a", "fig3b", "fig4", "fig5", "fig6a", "fig6b", "fig7a", "fig7b"}
 	for _, id := range suite {
 		start := time.Now()

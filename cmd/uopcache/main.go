@@ -24,6 +24,7 @@ func main() {
 		warmup  = flag.Int("warmup", 0, "warm-up iterations (0 = default)")
 		samples = flag.Int("samples", 0, "per-point samples / rounds (0 = default)")
 		seed    = flag.Uint64("seed", 0, "payload PRNG seed (0 = default)")
+		workers = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 		csv     = flag.Bool("csv", false, "CSV output where supported")
 	)
 	flag.Parse()
@@ -44,6 +45,7 @@ func main() {
 		Warmup:     *warmup,
 		Samples:    *samples,
 		Seed:       *seed,
+		Workers:    *workers,
 	}
 
 	ids := []string{*exp}

@@ -56,6 +56,10 @@ func DefaultConfig() Config {
 // entry is one in-flight micro-op.
 type entry struct {
 	uop isa.Uop
+	// seq is the entry's allocation number, monotonically increasing in
+	// dispatch order. The entry pool uses it to decide when a retired
+	// producer can no longer be referenced by any in-flight consumer.
+	seq uint64
 
 	// dataflow sources; nil when the operand comes from the
 	// architectural register file at dispatch time.
@@ -128,6 +132,21 @@ type Backend struct {
 	regProd  [isa.NumRegs]*entry
 	flagProd *entry
 
+	// Entry pool. Dataflow references only ever point from younger
+	// entries to older ones (captureSources reads regProd/flagProd/the
+	// previous ROB slot), and consumers read retired producers lazily
+	// (depVal at issue time), so a retired entry must outlive every
+	// entry dispatched before it retired. The graveyard parks retired
+	// entries stamped with the allocation watermark at retirement
+	// (freeAt); once the oldest live entry's seq reaches that watermark
+	// no referencer can remain and the entry moves to the free list.
+	// Squashed entries skip the graveyard: their only possible
+	// referencers are younger entries squashed with them.
+	seq    uint64     // next allocation number
+	free   []*entry   // recycled entries ready for reuse
+	grave  []graveRec // retired entries awaiting their watermark
+	popBuf []isa.Uop  // reusable IDQ pop buffer (DispatchWidth)
+
 	regs  [isa.NumRegs]int64
 	flags isa.Flags
 
@@ -150,17 +169,54 @@ type Backend struct {
 	retired uint64
 }
 
+// graveRec parks one retired entry until the allocation watermark
+// guarantees no in-flight consumer can still reference it.
+type graveRec struct {
+	e      *entry
+	freeAt uint64
+}
+
 // New builds a backend for one hardware thread.
 func New(cfg Config, fe *frontend.FrontEnd, bp *bpu.BPU, hier *mem.Hierarchy, gmem Memory, ctr *perfctr.Counters) *Backend {
 	b := &Backend{cfg: cfg, fe: fe, bp: bp, hier: hier, gmem: gmem, ctr: ctr}
 	b.regs[isa.R15] = int64(cfg.StackTop)
+	// Pre-size the ROB, the entry pool, and the dispatch pop buffer so
+	// the steady-state cycle loop never grows any of them.
+	b.rob = make([]*entry, 0, cfg.ROBSize)
+	b.free = make([]*entry, 0, cfg.ROBSize)
+	b.grave = make([]graveRec, 0, cfg.ROBSize)
+	b.popBuf = make([]isa.Uop, cfg.DispatchWidth)
 	return b
+}
+
+// newEntry takes an entry from the free list (or allocates one) and
+// stamps it with the next sequence number.
+func (b *Backend) newEntry(u isa.Uop) *entry {
+	var e *entry
+	if n := len(b.free); n > 0 {
+		e = b.free[n-1]
+		b.free = b.free[:n-1]
+		*e = entry{}
+	} else {
+		e = new(entry)
+	}
+	e.uop = u
+	e.seq = b.seq
+	b.seq++
+	return e
 }
 
 // Reset prepares the backend to run from a clean architectural state at
 // entry. Register and memory contents persist (the attacks depend on
 // persistent microarchitectural and memory state between runs).
 func (b *Backend) Reset(pc uint64) {
+	// Recycle every in-flight and parked entry: nothing outside the
+	// backend holds entry pointers, so a reset drains both pools.
+	b.free = append(b.free, b.rob...)
+	for i := range b.grave {
+		b.free = append(b.free, b.grave[i].e)
+	}
+	b.grave = b.grave[:0]
 	b.rob = b.rob[:0]
 	b.regProd = [isa.NumRegs]*entry{}
 	b.flagProd = nil
@@ -218,8 +274,9 @@ func (b *Backend) dispatch() {
 	if n <= 0 {
 		return
 	}
-	for _, u := range b.fe.Pop(n) {
-		e := &entry{uop: u}
+	got := b.fe.PopInto(b.popBuf[:n])
+	for _, u := range b.popBuf[:got] {
+		e := b.newEntry(u)
 		b.captureSources(e)
 		if prev := len(b.rob) - 1; prev >= 0 && u.Index > 0 &&
 			b.rob[prev].uop.MacroAddr == u.MacroAddr {
@@ -599,6 +656,9 @@ func (b *Backend) resolveBranches() {
 // the rename state from the survivors. Cache and micro-op cache side
 // effects of squashed micro-ops are — deliberately — not undone.
 func (b *Backend) squashAfter(i int) {
+	// Squashed entries can only be referenced by younger entries — which
+	// are squashed with them — so they recycle immediately.
+	b.free = append(b.free, b.rob[i+1:]...)
 	b.rob = b.rob[:i+1]
 	b.regProd = [isa.NumRegs]*entry{}
 	b.flagProd = nil
@@ -612,19 +672,20 @@ func (b *Backend) squashAfter(i int) {
 	}
 }
 
-// retire commits completed micro-ops in order.
+// retire commits completed micro-ops in order. Retired entries are
+// compacted out of the ROB in one pass (preserving its capacity) and
+// parked in the graveyard until the watermark frees them.
 func (b *Backend) retire() {
 	n := 0
-	for n < b.cfg.RetireWidth && len(b.rob) > 0 {
-		e := b.rob[0]
+	for n < b.cfg.RetireWidth && n < len(b.rob) {
+		e := b.rob[n]
 		if !e.done {
-			return
+			break
 		}
 		if e.uop.IsBranch() && !e.resolved {
-			return
+			break
 		}
 		b.commit(e)
-		b.rob = b.rob[1:]
 		b.clearProducer(e)
 		n++
 		if b.OnRetire != nil {
@@ -642,8 +703,35 @@ func (b *Backend) retire() {
 			}
 		}
 		if b.halted {
-			return
+			break
 		}
+	}
+	if n == 0 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		b.grave = append(b.grave, graveRec{e: b.rob[i], freeAt: b.seq})
+	}
+	b.rob = b.rob[:copy(b.rob, b.rob[n:])]
+	b.reclaim()
+}
+
+// reclaim moves graveyard entries past their watermark to the free
+// list: once the oldest live entry was dispatched at or after an
+// entry's retirement watermark, no remaining consumer can hold a
+// reference to it.
+func (b *Backend) reclaim() {
+	watermark := b.seq
+	if len(b.rob) > 0 {
+		watermark = b.rob[0].seq
+	}
+	k := 0
+	for k < len(b.grave) && b.grave[k].freeAt <= watermark {
+		b.free = append(b.free, b.grave[k].e)
+		k++
+	}
+	if k > 0 {
+		b.grave = b.grave[:copy(b.grave, b.grave[k:])]
 	}
 }
 

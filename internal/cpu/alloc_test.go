@@ -1,0 +1,44 @@
+package cpu
+
+import (
+	"testing"
+
+	"deaduops/internal/asm"
+	"deaduops/internal/isa"
+)
+
+// TestSteadyStateRunAllocs pins the steady-state cycle loop to zero
+// heap allocations. After warmup the µop cache holds the loop's trace,
+// the predictors are trained, and every pooled buffer — the IDQ, the
+// DSB stream buffer, the reusable fetch group, the ROB entry pool with
+// its graveyard, and the dispatch pop buffer — has grown to capacity,
+// so a whole Run (including the final mispredicted loop exit and its
+// squash) must not touch the heap. Sweep throughput depends on this
+// invariant; a regression here silently multiplies GC pressure across
+// every parallel worker.
+func TestSteadyStateRunAllocs(t *testing.T) {
+	b := asm.New(0x1000)
+	b.Movi(isa.R1, 0)
+	b.Movi(isa.R2, 64)
+	b.Label("loop")
+	b.Add(isa.R1, isa.R2)
+	b.Subi(isa.R2, 1)
+	b.Cmpi(isa.R2, 0)
+	b.Jcc(isa.NE, "loop")
+	b.Halt()
+	p := b.MustBuild()
+
+	c := New(Intel())
+	c.LoadProgram(p)
+	for i := 0; i < 5; i++ {
+		if res := c.Run(0, p.Entry, testMaxCycles); res.TimedOut {
+			t.Fatal("warmup run timed out")
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		c.Run(0, p.Entry, testMaxCycles)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Run allocates %.1f objects per run, want 0", allocs)
+	}
+}

@@ -176,6 +176,9 @@ func PlanRegion(cfg Config, insts []*isa.Inst) *RegionPlan {
 		}
 	}
 	preCycles := (bytes+cfg.PredecodeWindow-1)/cfg.PredecodeWindow + p.LCPStalls
+	// Pre-size the schedule: at most one decode slot per macro-op on
+	// top of the predecode stalls.
+	p.Slots = make([][]isa.Uop, 0, preCycles+len(insts))
 	for i := 0; i < preCycles; i++ {
 		p.Slots = append(p.Slots, nil)
 	}
@@ -186,7 +189,7 @@ func PlanRegion(cfg Config, insts []*isa.Inst) *RegionPlan {
 		inst  *isa.Inst
 		fused bool
 	}
-	var macros []macro
+	macros := make([]macro, 0, len(insts))
 	for i := 0; i < len(insts); i++ {
 		in := insts[i]
 		if cfg.MacroFusion && i+1 < len(insts) && fusible(in, insts[i+1]) {
@@ -249,6 +252,7 @@ func PlanRegion(cfg Config, insts []*isa.Inst) *RegionPlan {
 	flush()
 
 	// Macro groups for the micro-op cache fill.
+	p.Macros = make([]uopcache.MacroUops, 0, len(macros))
 	for mi := range macros {
 		m := &macros[mi]
 		p.Macros = append(p.Macros, uopcache.MacroUops{

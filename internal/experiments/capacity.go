@@ -37,34 +37,41 @@ func CapacityAcrossGenerations(o Options) (*Table, error) {
 		{"AMD Zen", cpu.AMD()},
 		{"AMD Zen 2", cpu.AMDZen2()},
 	}
-	for _, c := range configs {
+	rows, err := sweep(o, len(configs), func(a *cpu.Arena, i int) ([]string, error) {
+		c := configs[i]
 		uc := c.cfg.UopCache
-		knee, err := capacityKnee(c.cfg, o)
+		knee, err := capacityKnee(c.cfg, o, a)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", c.name, err)
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			c.name,
 			fmt.Sprintf("%d (%d×%d)", uc.Sets*uc.Ways, uc.Sets, uc.Ways),
 			fmt.Sprint(uc.Capacity()),
 			fmt.Sprint(knee),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
 // capacityKnee runs the Listing 1 sweep on the given configuration and
 // returns the first loop size whose steady-state legacy-decode traffic
 // exceeds the near-zero baseline.
-func capacityKnee(cfg cpu.Config, o Options) (int, error) {
+func capacityKnee(cfg cpu.Config, o Options, a *cpu.Arena) (int, error) {
 	lines := cfg.UopCache.Sets * cfg.UopCache.Ways
 	// Sweep around the expected knee in single-line steps of 8 regions.
+	// The scan early-exits at the knee, so it stays sequential within
+	// one configuration; the pool fans out across configurations.
 	for n := 8; n <= lines*2; n += 8 {
 		prog, err := codegen.SequentialLoop(benchBase, n, 3)
 		if err != nil {
 			return 0, err
 		}
-		c := cpu.New(cfg)
+		c := cpu.NewWith(cfg, a)
 		c.LoadProgram(prog)
 		c.SetReg(0, isa.R14, int64(o.Warmup))
 		if r := c.Run(0, prog.Entry, maxRunCycle); r.TimedOut {

@@ -10,6 +10,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"deaduops/internal/cpu"
+	"deaduops/internal/parsweep"
 )
 
 // Series is one labelled curve of a figure.
@@ -134,6 +137,23 @@ type Options struct {
 	Samples int
 	// Seed feeds the deterministic PRNG used by workloads and payloads.
 	Seed uint64
+	// Workers bounds the sweep worker pool. Zero selects GOMAXPROCS;
+	// 1 forces sequential execution. Results are identical at every
+	// worker count — each sweep point builds its own core and the pool
+	// assembles results in input order.
+	Workers int
+}
+
+// pool returns the parsweep options for this run.
+func (o Options) pool() parsweep.Options { return parsweep.Options{Workers: o.Workers} }
+
+// sweep evaluates n independent measurement points across the worker
+// pool, giving each worker one reusable simulator arena. Results come
+// back in point order, so a figure assembled from them is byte-
+// identical at every worker count.
+func sweep[T any](o Options, n int, fn func(a *cpu.Arena, i int) (T, error)) ([]T, error) {
+	return parsweep.MapArena(o.pool(), n,
+		func() *cpu.Arena { return new(cpu.Arena) }, fn)
 }
 
 func (o Options) withDefaults(iter, warm, samples int) Options {

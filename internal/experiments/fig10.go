@@ -24,26 +24,33 @@ func Fig10Fences(o Options) (*Figure, error) {
 		XAxis: "trial",
 		YAxis: "probe-time gap zero−one (cycles; >0 means the secret leaks)",
 	}
-	for _, f := range []victim.Fence{victim.NoFence, victim.WithLFENCE, victim.WithCPUID} {
-		c := cpu.New(cpu.Intel())
+	fences := []victim.Fence{victim.NoFence, victim.WithLFENCE, victim.WithCPUID}
+	series, err := sweep(o, len(fences), func(a *cpu.Arena, i int) (Series, error) {
+		f := fences[i]
+		c := cpu.NewWith(cpu.Intel(), a)
 		v, err := transient.NewVariant2(c, f)
 		if err != nil {
-			return nil, err
+			return Series{}, err
 		}
 		s := Series{Label: "fence=" + f.String()}
-		// Warm-up pass.
+		// Warm-up pass. Trials within one fence share the CPU's cache
+		// state, so they stay sequential; the three fences fan out.
 		if _, _, err := v.SignalStrength(1); err != nil {
-			return nil, err
+			return Series{}, err
 		}
 		for trial := 0; trial < o.Samples; trial++ {
 			one, zero, err := v.SignalStrength(1)
 			if err != nil {
-				return nil, err
+				return Series{}, err
 			}
 			s.X = append(s.X, float64(trial))
 			s.Y = append(s.Y, zero-one)
 		}
-		fig.Series = append(fig.Series, s)
+		return s, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	fig.Series = series
 	return fig, nil
 }

@@ -25,14 +25,19 @@ func init() {
 // the 256-line capacity of the micro-op cache.
 func Fig3aCacheSize(o Options) (*Figure, error) {
 	o = o.withDefaults(40, 10, 1)
-	var xs, ys []float64
+	var ns []int
 	for n := 8; n <= 384; n += 8 {
-		mite, err := fig3aPoint(n, o)
-		if err != nil {
-			return nil, err
-		}
-		xs = append(xs, float64(n))
-		ys = append(ys, mite)
+		ns = append(ns, n)
+	}
+	ys, err := sweep(o, len(ns), func(a *cpu.Arena, i int) (float64, error) {
+		return fig3aPoint(ns[i], o, a)
+	})
+	if err != nil {
+		return nil, err
+	}
+	xs := make([]float64, len(ns))
+	for i, n := range ns {
+		xs[i] = float64(n)
 	}
 	return &Figure{
 		ID:     "fig3a",
@@ -43,12 +48,12 @@ func Fig3aCacheSize(o Options) (*Figure, error) {
 	}, nil
 }
 
-func fig3aPoint(regions int, o Options) (float64, error) {
+func fig3aPoint(regions int, o Options, a *cpu.Arena) (float64, error) {
 	prog, err := codegen.SequentialLoop(benchBase, regions, 3)
 	if err != nil {
 		return 0, err
 	}
-	c := cpu.New(cpu.Intel())
+	c := cpu.NewWith(cpu.Intel(), a)
 	c.LoadProgram(prog)
 	// Warmup traversals fill the cache to steady state.
 	c.SetReg(0, isa.R14, int64(o.Warmup))
@@ -68,20 +73,22 @@ func fig3aPoint(regions int, o Options) (float64, error) {
 // the 8 ways of the set.
 func Fig3bAssociativity(o Options) (*Figure, error) {
 	o = o.withDefaults(40, 10, 1)
-	var xs, ys []float64
-	for ways := 1; ways <= 15; ways++ {
+	const maxWays = 15
+	ys, err := sweep(o, maxWays, func(a *cpu.Arena, i int) (float64, error) {
 		spec := &codegen.ChainSpec{
 			Base:  benchBase,
 			Sets:  []int{0},
-			Ways:  ways,
+			Ways:  i + 1,
 			Label: "assoc",
 		}
-		mite, err := chainMITEPerIteration(spec, o)
-		if err != nil {
-			return nil, err
-		}
-		xs = append(xs, float64(ways))
-		ys = append(ys, mite)
+		return chainMITEPerIteration(spec, o, a)
+	})
+	if err != nil {
+		return nil, err
+	}
+	xs := make([]float64, maxWays)
+	for i := range xs {
+		xs[i] = float64(i + 1)
 	}
 	return &Figure{
 		ID:     "fig3b",
@@ -94,12 +101,12 @@ func Fig3bAssociativity(o Options) (*Figure, error) {
 
 // chainMITEPerIteration measures steady-state legacy-decode µops per
 // traversal of the chain.
-func chainMITEPerIteration(spec *codegen.ChainSpec, o Options) (float64, error) {
+func chainMITEPerIteration(spec *codegen.ChainSpec, o Options, a *cpu.Arena) (float64, error) {
 	prog, err := spec.LoopProgram(tailAddrFor(spec))
 	if err != nil {
 		return 0, err
 	}
-	c := cpu.New(cpu.Intel())
+	c := cpu.NewWith(cpu.Intel(), a)
 	c.LoadProgram(prog)
 	c.SetReg(0, isa.R14, int64(o.Warmup))
 	if r := c.Run(0, prog.Entry, maxRunCycle); r.TimedOut {

@@ -26,15 +26,22 @@ func Fig4Placement(o Options) (*Figure, error) {
 		XAxis: "Micro-Ops per Region",
 		YAxis: "Micro-Ops from DSB per region per iteration",
 	}
-	for _, regions := range []int{2, 4, 8} {
-		var xs, ys []float64
-		for uops := 1; uops <= 24; uops++ {
-			dsb, err := fig4Point(regions, uops, o)
-			if err != nil {
-				return nil, err
-			}
-			xs = append(xs, float64(uops))
-			ys = append(ys, dsb/float64(regions))
+	regionCounts := []int{2, 4, 8}
+	const maxUops = 24
+	// Flatten the 3×24 grid into one point list so the pool can chew
+	// through every cell concurrently, then fold back into series.
+	vals, err := sweep(o, len(regionCounts)*maxUops, func(a *cpu.Arena, i int) (float64, error) {
+		return fig4Point(regionCounts[i/maxUops], i%maxUops+1, o, a)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ri, regions := range regionCounts {
+		xs := make([]float64, maxUops)
+		ys := make([]float64, maxUops)
+		for ui := 0; ui < maxUops; ui++ {
+			xs[ui] = float64(ui + 1)
+			ys[ui] = vals[ri*maxUops+ui] / float64(regions)
 		}
 		fig.Series = append(fig.Series, Series{
 			Label: fmt.Sprintf("%d regions", regions),
@@ -46,7 +53,7 @@ func Fig4Placement(o Options) (*Figure, error) {
 
 // fig4Point returns steady-state DSB µops per iteration for a loop of
 // `regions` same-set regions of `uops` µops each.
-func fig4Point(regions, uops int, o Options) (float64, error) {
+func fig4Point(regions, uops int, o Options, a *cpu.Arena) (float64, error) {
 	spec := &codegen.ChainSpec{
 		Base:         benchBase,
 		Sets:         []int{0},
@@ -59,7 +66,7 @@ func fig4Point(regions, uops int, o Options) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	c := cpu.New(cpu.Intel())
+	c := cpu.NewWith(cpu.Intel(), a)
 	c.LoadProgram(prog)
 	c.SetReg(0, isa.R14, int64(o.Warmup))
 	if r := c.Run(0, prog.Entry, maxRunCycle); r.TimedOut {

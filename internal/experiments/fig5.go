@@ -68,16 +68,15 @@ func Fig5ReplacementGrid(o Options) (*Grid, error) {
 	for y := 1; y <= 12; y++ {
 		g.YVals = append(g.YVals, y)
 	}
-	for _, mainIters := range g.YVals {
-		row := make([]float64, 0, len(g.XVals))
-		for _, evictIters := range g.XVals {
-			v, err := fig5Cell(mainSpec, evictSpec, mainIters, evictIters, o)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, v)
-		}
-		g.Cell = append(g.Cell, row)
+	nx := len(g.XVals)
+	cells, err := sweep(o, len(g.YVals)*nx, func(a *cpu.Arena, i int) (float64, error) {
+		return fig5Cell(mainSpec, evictSpec, g.YVals[i/nx], g.XVals[i%nx], o, a)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for yi := range g.YVals {
+		g.Cell = append(g.Cell, cells[yi*nx:(yi+1)*nx])
 	}
 	return g, nil
 }
@@ -85,7 +84,7 @@ func Fig5ReplacementGrid(o Options) (*Grid, error) {
 // fig5Cell interleaves the two loops for o.Samples rounds and returns
 // the average µops per main-loop iteration delivered from the micro-op
 // cache over the measured rounds.
-func fig5Cell(mainSpec, evictSpec *codegen.ChainSpec, mainIters, evictIters int, o Options) (float64, error) {
+func fig5Cell(mainSpec, evictSpec *codegen.ChainSpec, mainIters, evictIters int, o Options, a *cpu.Arena) (float64, error) {
 	// Tails land in set 16, far from the probed set 0.
 	mainTail := mainSpec.Base + 33*codegen.WayStride + 16*codegen.RegionSize
 	evictTail := evictSpec.Base + 33*codegen.WayStride + 16*codegen.RegionSize
@@ -97,7 +96,7 @@ func fig5Cell(mainSpec, evictSpec *codegen.ChainSpec, mainIters, evictIters int,
 	if err != nil {
 		return 0, err
 	}
-	c := cpu.New(cpu.Intel())
+	c := cpu.NewWith(cpu.Intel(), a)
 	var dsb uint64
 	rounds := o.Samples
 	measured := 0

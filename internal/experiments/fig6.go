@@ -49,22 +49,34 @@ func Fig6SMTPartition(o Options, sibling Fig6Sibling) (*Figure, error) {
 		XAxis: "T1's Static Instructions",
 		YAxis: "Micro-Ops from Legacy Decode Pipeline (per iteration)",
 	}
-	var smtX, smtY, stX, stY, t2Y []float64
+	var regionList []int
 	for regions := 16; regions <= 352; regions += 16 {
+		regionList = append(regionList, regions)
+	}
+	type fig6Point struct{ smt, t2, st float64 }
+	pts, err := sweep(o, len(regionList), func(a *cpu.Arena, i int) (fig6Point, error) {
+		regions := regionList[i]
+		smt, t2, err := fig6SMTPoint(regions, sibling, o, a)
+		if err != nil {
+			return fig6Point{}, err
+		}
+		st, err := fig6STPoint(regions, o, a)
+		if err != nil {
+			return fig6Point{}, err
+		}
+		return fig6Point{smt: smt, t2: t2, st: st}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var smtX, smtY, stX, stY, t2Y []float64
+	for i, regions := range regionList {
 		staticInsts := float64(regions * 4)
-		smt, t2, err := fig6SMTPoint(regions, sibling, o)
-		if err != nil {
-			return nil, err
-		}
-		st, err := fig6STPoint(regions, o)
-		if err != nil {
-			return nil, err
-		}
 		smtX = append(smtX, staticInsts)
-		smtY = append(smtY, smt)
+		smtY = append(smtY, pts[i].smt)
 		stX = append(stX, staticInsts)
-		stY = append(stY, st)
-		t2Y = append(t2Y, t2)
+		stY = append(stY, pts[i].st)
+		t2Y = append(t2Y, pts[i].t2)
 	}
 	fig.Series = []Series{
 		{Label: "SMT -- T1 with T2", X: smtX, Y: smtY},
@@ -124,7 +136,7 @@ func setupChase(c *cpu.CPU) {
 	}
 }
 
-func fig6SMTPoint(regions int, sibling Fig6Sibling, o Options) (t1MITE, t2MITE float64, err error) {
+func fig6SMTPoint(regions int, sibling Fig6Sibling, o Options, a *cpu.Arena) (t1MITE, t2MITE float64, err error) {
 	t1, err := fig6T1Program(regions)
 	if err != nil {
 		return 0, 0, err
@@ -137,7 +149,7 @@ func fig6SMTPoint(regions int, sibling Fig6Sibling, o Options) (t1MITE, t2MITE f
 	if err != nil {
 		return 0, 0, err
 	}
-	c := cpu.New(cpu.Intel())
+	c := cpu.NewWith(cpu.Intel(), a)
 	c.LoadProgram(merged)
 	if sibling == Fig6PointerChase {
 		setupChase(c)
@@ -164,12 +176,12 @@ func fig6SMTPoint(regions int, sibling Fig6Sibling, o Options) (t1MITE, t2MITE f
 	return t1MITE, t2MITE, nil
 }
 
-func fig6STPoint(regions int, o Options) (float64, error) {
+func fig6STPoint(regions int, o Options, a *cpu.Arena) (float64, error) {
 	t1, err := fig6T1Program(regions)
 	if err != nil {
 		return 0, err
 	}
-	c := cpu.New(cpu.Intel())
+	c := cpu.NewWith(cpu.Intel(), a)
 	c.LoadProgram(t1)
 	c.SetReg(0, isa.R14, int64(o.Warmup))
 	if r := c.Run(0, t1.Entry, maxRunCycle); r.TimedOut {

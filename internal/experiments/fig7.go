@@ -35,21 +35,21 @@ func fig7Chain(base uint64, sets []int, label string) (*asm.Program, *codegen.Ch
 // µops stay near zero for every set probed.
 func Fig7aSetProbe(o Options) (*Figure, error) {
 	o = o.withDefaults(30, 10, 1)
-	var xs, ys []float64
-	for set := 0; set < 32; set++ {
+	const numSets = 32
+	ys, err := sweep(o, numSets, func(a *cpu.Arena, set int) (float64, error) {
 		t1, _, err := fig7Chain(benchBase, []int{set}, "t1")
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		t2, _, err := fig7Chain(benchBase+64*codegen.WayStride, []int{0}, "t2")
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		merged, err := asm.Merge(t1, t2)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		c := cpu.New(cpu.Intel())
+		c := cpu.NewWith(cpu.Intel(), a)
 		c.LoadProgram(merged)
 		run := func(iters int64) (cpu.RunResult, error) {
 			c.SetReg(0, isa.R14, iters)
@@ -61,14 +61,20 @@ func Fig7aSetProbe(o Options) (*Figure, error) {
 			return res[0], nil
 		}
 		if _, err := run(int64(o.Warmup)); err != nil {
-			return nil, err
+			return 0, err
 		}
 		res, err := run(int64(o.Iterations))
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		xs = append(xs, float64(set))
-		ys = append(ys, float64(res.Counters.Get(perfctr.MITEUops))/float64(o.Iterations))
+		return float64(res.Counters.Get(perfctr.MITEUops)) / float64(o.Iterations), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	xs := make([]float64, numSets)
+	for set := range xs {
+		xs[set] = float64(set)
 	}
 	return &Figure{
 		ID:     "fig7a",
@@ -85,8 +91,10 @@ func Fig7aSetProbe(o Options) (*Figure, error) {
 // partition is organized as 16 8-way sets per thread.
 func Fig7bSetCount(o Options) (*Figure, error) {
 	o = o.withDefaults(30, 10, 1)
-	var xs, smtY, stY []float64
-	for n := 1; n <= 36; n++ {
+	const maxRegions = 36
+	type fig7bPoint struct{ st, smt float64 }
+	pts, err := sweep(o, maxRegions, func(a *cpu.Arena, i int) (fig7bPoint, error) {
+		n := i + 1
 		sets := make([]int, 0, n)
 		for s := 0; s < n; s++ {
 			sets = append(sets, s%32)
@@ -97,31 +105,31 @@ func Fig7bSetCount(o Options) (*Figure, error) {
 		}
 		t1, _, err := fig7Chain(benchBase, uniq, "t1")
 		if err != nil {
-			return nil, err
+			return fig7bPoint{}, err
 		}
 		// Single-thread measurement.
-		c := cpu.New(cpu.Intel())
+		c := cpu.NewWith(cpu.Intel(), a)
 		c.LoadProgram(t1)
 		c.SetReg(0, isa.R14, int64(o.Warmup))
 		if r := c.Run(0, t1.Entry, maxRunCycle); r.TimedOut {
-			return nil, fmt.Errorf("fig7b ST warmup timed out at %d", n)
+			return fig7bPoint{}, fmt.Errorf("fig7b ST warmup timed out at %d", n)
 		}
 		c.SetReg(0, isa.R14, int64(o.Iterations))
 		st := c.Run(0, t1.Entry, maxRunCycle)
 		if st.TimedOut {
-			return nil, fmt.Errorf("fig7b ST run timed out at %d", n)
+			return fig7bPoint{}, fmt.Errorf("fig7b ST run timed out at %d", n)
 		}
 
 		// SMT measurement with a PAUSE-spinning sibling.
 		t2, err := fig6T2Program(Fig6Pause)
 		if err != nil {
-			return nil, err
+			return fig7bPoint{}, err
 		}
 		merged, err := asm.Merge(t1, t2)
 		if err != nil {
-			return nil, err
+			return fig7bPoint{}, err
 		}
-		cs := cpu.New(cpu.Intel())
+		cs := cpu.NewWith(cpu.Intel(), a)
 		cs.LoadProgram(merged)
 		runSMT := func(iters int64) (cpu.RunResult, error) {
 			cs.SetReg(0, isa.R14, iters)
@@ -133,16 +141,25 @@ func Fig7bSetCount(o Options) (*Figure, error) {
 			return res[0], nil
 		}
 		if _, err := runSMT(int64(o.Warmup)); err != nil {
-			return nil, err
+			return fig7bPoint{}, err
 		}
 		smt, err := runSMT(int64(o.Iterations))
 		if err != nil {
-			return nil, err
+			return fig7bPoint{}, err
 		}
-
-		xs = append(xs, float64(n))
-		stY = append(stY, float64(st.Counters.Get(perfctr.MITEUops))/float64(o.Iterations))
-		smtY = append(smtY, float64(smt.Counters.Get(perfctr.MITEUops))/float64(o.Iterations))
+		return fig7bPoint{
+			st:  float64(st.Counters.Get(perfctr.MITEUops)) / float64(o.Iterations),
+			smt: float64(smt.Counters.Get(perfctr.MITEUops)) / float64(o.Iterations),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var xs, smtY, stY []float64
+	for i, p := range pts {
+		xs = append(xs, float64(i+1))
+		stY = append(stY, p.st)
+		smtY = append(smtY, p.smt)
 	}
 	return &Figure{
 		ID:    "fig7b",

@@ -25,71 +25,66 @@ func Fig9Tuning(o Options) (*Figure, error) {
 		YAxis: "error rate / bandwidth (Kbit/s)",
 	}
 
-	run := func(cfg channel.Config) (errRate, kbps float64, err error) {
-		c := cpu.New(cpu.Intel())
-		ch, err := channel.NewSameAddressSpace(c, cfg)
+	base := channel.DefaultConfig()
+
+	// One flat point list across the three one-at-a-time parameter
+	// sweeps, so the pool sees all 15 configurations at once.
+	type fig9Point struct {
+		group string
+		x     float64
+		cfg   channel.Config
+	}
+	var points []fig9Point
+	for _, nsets := range []int{1, 2, 4, 8, 16} {
+		cfg := base
+		cfg.Geometry = attack.Geometry{NSets: nsets, NWays: base.Geometry.NWays}
+		points = append(points, fig9Point{"sets", float64(nsets), cfg})
+	}
+	for nways := 4; nways <= 8; nways++ {
+		cfg := base
+		cfg.Geometry = attack.Geometry{NSets: base.Geometry.NSets, NWays: nways}
+		points = append(points, fig9Point{"ways", float64(nways), cfg})
+	}
+	for _, samples := range []int64{1, 2, 5, 10, 20} {
+		cfg := base
+		cfg.ProbeIters = samples
+		points = append(points, fig9Point{"samples", float64(samples), cfg})
+	}
+
+	type fig9Val struct{ errRate, kbps float64 }
+	vals, err := sweep(o, len(points), func(a *cpu.Arena, i int) (fig9Val, error) {
+		c := cpu.NewWith(cpu.Intel(), a)
+		ch, err := channel.NewSameAddressSpace(c, points[i].cfg)
 		if err != nil {
 			// A configuration with no measurable signal transmits
 			// garbage: report 50% error at zero effective bandwidth
 			// rather than failing the sweep.
-			return 0.5, 0, nil
+			return fig9Val{errRate: 0.5}, nil
 		}
 		_, res, err := ch.Transmit(payload)
 		if err != nil {
-			return 0, 0, err
+			return fig9Val{}, err
 		}
-		return res.ErrorRate(), res.BandwidthKbps(), nil
+		return fig9Val{errRate: res.ErrorRate(), kbps: res.BandwidthKbps()}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
-	base := channel.DefaultConfig()
-
-	var setX, setErr, setBW []float64
-	for _, nsets := range []int{1, 2, 4, 8, 16} {
-		cfg := base
-		cfg.Geometry = attack.Geometry{NSets: nsets, NWays: base.Geometry.NWays}
-		e, bw, err := run(cfg)
-		if err != nil {
-			return nil, err
+	for _, group := range []string{"sets", "ways", "samples"} {
+		var xs, errY, bwY []float64
+		for i, p := range points {
+			if p.group != group {
+				continue
+			}
+			xs = append(xs, p.x)
+			errY = append(errY, vals[i].errRate)
+			bwY = append(bwY, vals[i].kbps)
 		}
-		setX = append(setX, float64(nsets))
-		setErr = append(setErr, e)
-		setBW = append(setBW, bw)
+		fig.Series = append(fig.Series,
+			Series{Label: "error-vs-" + group, X: xs, Y: errY},
+			Series{Label: "bandwidth-vs-" + group, X: xs, Y: bwY})
 	}
-	fig.Series = append(fig.Series,
-		Series{Label: "error-vs-sets", X: setX, Y: setErr},
-		Series{Label: "bandwidth-vs-sets", X: setX, Y: setBW})
-
-	var wayX, wayErr, wayBW []float64
-	for nways := 4; nways <= 8; nways++ {
-		cfg := base
-		cfg.Geometry = attack.Geometry{NSets: base.Geometry.NSets, NWays: nways}
-		e, bw, err := run(cfg)
-		if err != nil {
-			return nil, err
-		}
-		wayX = append(wayX, float64(nways))
-		wayErr = append(wayErr, e)
-		wayBW = append(wayBW, bw)
-	}
-	fig.Series = append(fig.Series,
-		Series{Label: "error-vs-ways", X: wayX, Y: wayErr},
-		Series{Label: "bandwidth-vs-ways", X: wayX, Y: wayBW})
-
-	var smpX, smpErr, smpBW []float64
-	for _, samples := range []int64{1, 2, 5, 10, 20} {
-		cfg := base
-		cfg.ProbeIters = samples
-		e, bw, err := run(cfg)
-		if err != nil {
-			return nil, err
-		}
-		smpX = append(smpX, float64(samples))
-		smpErr = append(smpErr, e)
-		smpBW = append(smpBW, bw)
-	}
-	fig.Series = append(fig.Series,
-		Series{Label: "error-vs-samples", X: smpX, Y: smpErr},
-		Series{Label: "bandwidth-vs-samples", X: smpX, Y: smpBW})
 
 	return fig, nil
 }

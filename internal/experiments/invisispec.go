@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"fmt"
-
 	"deaduops/internal/cpu"
 	"deaduops/internal/transient"
 )
@@ -29,10 +27,10 @@ func InvisibleSpeculation(o Options) (*Table, error) {
 		},
 	}
 
-	classic := func(invisible bool) string {
+	classic := func(invisible bool, a *cpu.Arena) string {
 		cfg := cpu.Intel()
 		cfg.InvisibleSpeculation = invisible
-		c := cpu.New(cfg)
+		c := cpu.NewWith(cfg, a)
 		cl, err := transient.NewClassicSpectre(c)
 		if err != nil {
 			return "CLOSED"
@@ -44,10 +42,10 @@ func InvisibleSpeculation(o Options) (*Table, error) {
 		}
 		return "leaks"
 	}
-	uop := func(invisible bool) string {
+	uop := func(invisible bool, a *cpu.Arena) string {
 		cfg := cpu.Intel()
 		cfg.InvisibleSpeculation = invisible
-		c := cpu.New(cfg)
+		c := cpu.NewWith(cfg, a)
 		v, err := transient.NewVariant1(c)
 		if err != nil {
 			return "CLOSED"
@@ -60,17 +58,21 @@ func InvisibleSpeculation(o Options) (*Table, error) {
 		return "LEAKS"
 	}
 
-	for _, inv := range []bool{false, true} {
+	variants := []bool{false, true}
+	rows, err := sweep(o, len(variants), func(a *cpu.Arena, i int) ([]string, error) {
+		inv := variants[i]
 		name := "none (baseline)"
 		if inv {
 			name = "invisible speculation"
 		}
-		t.Rows = append(t.Rows, []string{name, classic(inv), uop(inv)})
+		return []string{name, classic(inv, a), uop(inv, a)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
-
-var _ = fmt.Sprint
 
 func bytesEqual(a, b []byte) bool {
 	if len(a) != len(b) {

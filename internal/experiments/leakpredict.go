@@ -30,13 +30,13 @@ func LeakPredict(o Options) (*Table, error) {
 			"Victim (seed)", "Direction", "Predicted", "Measured", "Error",
 		},
 	}
-	for _, seed := range leakpredictSeeds {
-		r, err := difftest.Run(seed)
-		if err != nil {
-			return nil, err
-		}
+	results, err := difftest.RunMany(leakpredictSeeds, o.Workers)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range results {
 		if err := r.Validate(); err != nil {
-			return nil, fmt.Errorf("experiments: leakpredict seed %d out of contract: %w", seed, err)
+			return nil, fmt.Errorf("experiments: leakpredict seed %d out of contract: %w", r.Seed, err)
 		}
 		for _, d := range []struct {
 			dir        string
@@ -50,7 +50,7 @@ func LeakPredict(o Options) (*Table, error) {
 				errPct = -errPct
 			}
 			t.Rows = append(t.Rows, []string{
-				fmt.Sprintf("difftest-%d", seed),
+				fmt.Sprintf("difftest-%d", r.Seed),
 				d.dir,
 				fmt.Sprintf("%d", d.pred),
 				fmt.Sprintf("%d", d.meas),

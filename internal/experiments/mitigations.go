@@ -33,19 +33,21 @@ func MitigationMatrix(o Options) (*Table, error) {
 		},
 	}
 
-	baseline, err := benignSyscallCycles(cpu.MitigationNone)
+	baseline, err := benignSyscallCycles(cpu.MitigationNone, nil)
 	if err != nil {
 		return nil, err
 	}
 
-	for _, m := range []cpu.Mitigation{
+	mitigations := []cpu.Mitigation{
 		cpu.MitigationNone,
 		cpu.MitigationFlushOnPrivilegeSwitch,
 		cpu.MitigationPrivilegePartition,
-	} {
+	}
+	rows, err := sweep(o, len(mitigations), func(a *cpu.Arena, i int) ([]string, error) {
+		m := mitigations[i]
 		cfg := cpu.Intel()
 		cfg.Mitigation = m
-		c := cpu.New(cfg)
+		c := cpu.NewWith(cfg, a)
 
 		status, errors, bw := "open", "-", "-"
 		ch, err := channel.NewUserKernel(c, channel.DefaultConfig())
@@ -72,7 +74,7 @@ func MitigationMatrix(o Options) (*Table, error) {
 		{
 			vcfg := cpu.Intel()
 			vcfg.Mitigation = m
-			vc := cpu.New(vcfg)
+			vc := cpu.NewWith(vcfg, a)
 			v, err := transient.NewVariant1(vc)
 			if err != nil {
 				v1status = "CLOSED"
@@ -85,24 +87,28 @@ func MitigationMatrix(o Options) (*Table, error) {
 			}
 		}
 
-		cycles, err := benignSyscallCycles(m)
+		cycles, err := benignSyscallCycles(m, a)
 		if err != nil {
 			return nil, err
 		}
 		overhead := fmt.Sprintf("%+.1f%%", 100*(float64(cycles)/float64(baseline)-1))
 
-		t.Rows = append(t.Rows, []string{m.String(), status, errors, bw, v1status, overhead})
+		return []string{m.String(), status, errors, bw, v1status, overhead}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
 // benignSyscallCycles measures a syscall-heavy benign workload: a hot
 // user loop making kernel calls that run a small hot kernel routine —
 // the workload most hurt by flushing the micro-op cache at crossings.
-func benignSyscallCycles(m cpu.Mitigation) (uint64, error) {
+func benignSyscallCycles(m cpu.Mitigation, a *cpu.Arena) (uint64, error) {
 	cfg := cpu.Intel()
 	cfg.Mitigation = m
-	c := cpu.New(cfg)
+	c := cpu.NewWith(cfg, a)
 
 	prog, entry, err := buildBenignSyscallWorkload(cfg.KernelEntry)
 	if err != nil {

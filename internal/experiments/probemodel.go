@@ -34,13 +34,13 @@ func ProbeModel(o Options) (*Table, error) {
 			"Victim (seed)", "Probe", "Predicted", "Measured", "Error", "Margin",
 		},
 	}
-	for _, seed := range probemodelSeeds {
-		r, err := difftest.RunProbe(seed)
-		if err != nil {
-			return nil, err
-		}
+	results, err := difftest.RunProbeMany(probemodelSeeds, o.Workers)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range results {
 		if err := r.Validate(); err != nil {
-			return nil, fmt.Errorf("experiments: probemodel seed %d out of contract: %w", seed, err)
+			return nil, fmt.Errorf("experiments: probemodel seed %d out of contract: %w", r.Seed, err)
 		}
 		margin := fmt.Sprintf("%.2f×", r.Pred.SeparationMargin)
 		if !r.Pred.Distinguishable {
@@ -59,7 +59,7 @@ func ProbeModel(o Options) (*Table, error) {
 				errPct = -errPct
 			}
 			t.Rows = append(t.Rows, []string{
-				fmt.Sprintf("difftest-%d", seed),
+				fmt.Sprintf("difftest-%d", r.Seed),
 				d.probe,
 				fmt.Sprintf("%d", d.pred),
 				fmt.Sprintf("%d", d.meas),

@@ -37,79 +37,85 @@ func Table1Channels(o Options) (*Table, error) {
 		},
 	}
 
-	addRow := func(mode string, res channel.Result) {
+	row := func(mode string, res channel.Result) []string {
 		corrected := res.BandwidthKbps() / (1 + codec.Overhead())
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			mode,
 			fmt.Sprintf("%.2f%%", 100*res.ErrorRate()),
 			fmt.Sprintf("%.2f", res.BandwidthKbps()),
 			fmt.Sprintf("%.2f", corrected),
-		})
+		}
 	}
 
-	// Same address space.
-	{
-		c := cpu.New(cpu.Intel())
-		ch, err := channel.NewSameAddressSpace(c, channel.DefaultConfig())
-		if err != nil {
-			return nil, fmt.Errorf("table1 same-AS: %w", err)
-		}
-		_, res, err := ch.Transmit(payload)
-		if err != nil {
-			return nil, err
-		}
-		addRow("Same address space", res)
+	// The four channel modes are independent measurements on separate
+	// cores, so they fan out as sweep points.
+	modes := []func(a *cpu.Arena) ([]string, error){
+		func(a *cpu.Arena) ([]string, error) {
+			c := cpu.NewWith(cpu.Intel(), a)
+			ch, err := channel.NewSameAddressSpace(c, channel.DefaultConfig())
+			if err != nil {
+				return nil, fmt.Errorf("table1 same-AS: %w", err)
+			}
+			_, res, err := ch.Transmit(payload)
+			if err != nil {
+				return nil, err
+			}
+			return row("Same address space", res), nil
+		},
+		func(a *cpu.Arena) ([]string, error) {
+			c := cpu.NewWith(cpu.Intel(), a)
+			ch, err := channel.NewUserKernel(c, channel.DefaultConfig())
+			if err != nil {
+				return nil, fmt.Errorf("table1 user/kernel: %w", err)
+			}
+			ch.WriteSecret(payload)
+			got, res, err := ch.Leak(len(payload))
+			if err != nil {
+				return nil, err
+			}
+			res.BitErrors = bitErrors(payload, got)
+			return row("Same address space (User/Kernel)", res), nil
+		},
+		func(a *cpu.Arena) ([]string, error) {
+			// Cross-thread (SMT) on the AMD-style competitively shared cache.
+			c := cpu.NewWith(cpu.AMD(), a)
+			ch, err := channel.NewCrossSMT(c, channel.DefaultConfig())
+			if err != nil {
+				return nil, fmt.Errorf("table1 cross-SMT: %w", err)
+			}
+			_, res, err := ch.Transmit(payload)
+			if err != nil {
+				return nil, err
+			}
+			return row("Cross-thread (SMT)", res), nil
+		},
+		func(a *cpu.Arena) ([]string, error) {
+			// Transient execution attack (variant 1).
+			c := cpu.NewWith(cpu.Intel(), a)
+			v, err := transient.NewVariant1(c)
+			if err != nil {
+				return nil, fmt.Errorf("table1 transient: %w", err)
+			}
+			v.WriteSecret(payload)
+			got, st, err := v.Leak(len(payload))
+			if err != nil {
+				return nil, err
+			}
+			res := channel.Result{
+				Bits:      st.Bits,
+				BitErrors: bitErrors(payload, got),
+				Cycles:    st.Cycles,
+			}
+			return row("Transient Execution Attack", res), nil
+		},
 	}
-
-	// Same address space, user/kernel.
-	{
-		c := cpu.New(cpu.Intel())
-		ch, err := channel.NewUserKernel(c, channel.DefaultConfig())
-		if err != nil {
-			return nil, fmt.Errorf("table1 user/kernel: %w", err)
-		}
-		ch.WriteSecret(payload)
-		got, res, err := ch.Leak(len(payload))
-		if err != nil {
-			return nil, err
-		}
-		res.BitErrors = bitErrors(payload, got)
-		addRow("Same address space (User/Kernel)", res)
+	rows, err := sweep(o, len(modes), func(a *cpu.Arena, i int) ([]string, error) {
+		return modes[i](a)
+	})
+	if err != nil {
+		return nil, err
 	}
-
-	// Cross-thread (SMT) on the AMD-style competitively shared cache.
-	{
-		c := cpu.New(cpu.AMD())
-		ch, err := channel.NewCrossSMT(c, channel.DefaultConfig())
-		if err != nil {
-			return nil, fmt.Errorf("table1 cross-SMT: %w", err)
-		}
-		_, res, err := ch.Transmit(payload)
-		if err != nil {
-			return nil, err
-		}
-		addRow("Cross-thread (SMT)", res)
-	}
-
-	// Transient execution attack (variant 1).
-	{
-		c := cpu.New(cpu.Intel())
-		v, err := transient.NewVariant1(c)
-		if err != nil {
-			return nil, fmt.Errorf("table1 transient: %w", err)
-		}
-		v.WriteSecret(payload)
-		got, st, err := v.Leak(len(payload))
-		if err != nil {
-			return nil, err
-		}
-		res := channel.Result{
-			Bits:      st.Bits,
-			BitErrors: bitErrors(payload, got),
-			Cycles:    st.Cycles,
-		}
-		addRow("Transient Execution Attack", res)
-	}
+	t.Rows = rows
 
 	return t, nil
 }
@@ -143,49 +149,49 @@ func Table2SpectreTrace(o Options) (*Table, error) {
 		},
 	}
 
-	// Classic Spectre-v1 over the LLC.
-	{
-		c := cpu.New(cpu.Intel())
-		cl, err := transient.NewClassicSpectre(c)
+	rows, err := sweep(o, 2, func(a *cpu.Arena, i int) ([]string, error) {
+		c := cpu.NewWith(cpu.Intel(), a)
+		var (
+			name string
+			got  []byte
+			st   transient.Stats
+			err  error
+		)
+		if i == 0 {
+			// Classic Spectre-v1 over the LLC.
+			name = "Spectre (original)"
+			cl, e := transient.NewClassicSpectre(c)
+			if e != nil {
+				return nil, e
+			}
+			cl.WriteSecret(secret)
+			got, st, err = cl.Leak(len(secret))
+		} else {
+			// µop cache variant.
+			name = "Spectre (µop Cache)"
+			v, e := transient.NewVariant1(c)
+			if e != nil {
+				return nil, e
+			}
+			v.WriteSecret(secret)
+			got, st, err = v.Leak(len(secret))
+		}
 		if err != nil {
 			return nil, err
 		}
-		cl.WriteSecret(secret)
-		got, st, err := cl.Leak(len(secret))
-		if err != nil {
-			return nil, err
-		}
-		t.Rows = append(t.Rows, []string{
-			"Spectre (original)",
+		return []string{
+			name,
 			fmt.Sprintf("%.6f s", st.Seconds(channel.ClockGHz)),
 			fmt.Sprint(st.LLCRefs),
 			fmt.Sprint(st.LLCMisses),
 			fmt.Sprintf("%d cycles", st.UopMissPenalty),
 			fmt.Sprint(bitErrors(secret, got)),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-
-	// µop cache variant.
-	{
-		c := cpu.New(cpu.Intel())
-		v, err := transient.NewVariant1(c)
-		if err != nil {
-			return nil, err
-		}
-		v.WriteSecret(secret)
-		got, st, err := v.Leak(len(secret))
-		if err != nil {
-			return nil, err
-		}
-		t.Rows = append(t.Rows, []string{
-			"Spectre (µop Cache)",
-			fmt.Sprintf("%.6f s", st.Seconds(channel.ClockGHz)),
-			fmt.Sprint(st.LLCRefs),
-			fmt.Sprint(st.LLCMisses),
-			fmt.Sprintf("%d cycles", st.UopMissPenalty),
-			fmt.Sprint(bitErrors(secret, got)),
-		})
-	}
+	t.Rows = rows
 
 	return t, nil
 }

@@ -100,18 +100,36 @@ type FrontEnd struct {
 	lsdActive bool
 
 	idq []isa.Uop
+
+	// group is the one reusable fetch-group buffer: at most one fetch
+	// group is ever live (either pendingGroup on the DSB path or
+	// planGroup on the MITE path, never both), so planFetch rebuilds
+	// this struct in place instead of allocating per fetch.
+	group fetchGroup
+	// streamBuf is the reusable DSB stream buffer LookupAppend fills;
+	// pendingUops slices into it. It is safe to reuse because startFetch
+	// only runs once the previous stream has fully drained into the IDQ
+	// (and lsdRecord copies anything it retains).
+	streamBuf []isa.Uop
 }
 
 // New builds a fetch engine for one hardware thread.
 func New(cfg Config, thread int, uc *uopcache.Cache, hier *mem.Hierarchy, bp *bpu.BPU, ctr *perfctr.Counters) *FrontEnd {
+	ucfg := uc.Config()
 	return &FrontEnd{
 		cfg:    cfg,
-		costs:  cfg.Costs(uc.Config()),
+		costs:  cfg.Costs(ucfg),
 		thread: thread,
 		uc:     uc,
 		hier:   hier,
 		bp:     bp,
 		ctr:    ctr,
+		// Pre-size the IDQ and the DSB stream buffer so the steady-state
+		// cycle loop never grows either: the IDQ is hard-capped at
+		// IDQCapacity, and one region streams at most
+		// MaxLinesPerRegion × SlotsPerLine micro-ops.
+		idq:       make([]isa.Uop, 0, cfg.IDQCapacity),
+		streamBuf: make([]isa.Uop, 0, ucfg.MaxLinesPerRegion*ucfg.SlotsPerLine),
 	}
 }
 
@@ -172,9 +190,21 @@ func (f *FrontEnd) Pop(n int) []isa.Uop {
 		n = len(f.idq)
 	}
 	out := make([]isa.Uop, n)
-	copy(out, f.idq[:n])
-	f.idq = f.idq[:copy(f.idq, f.idq[n:])]
+	f.PopInto(out)
 	return out
+}
+
+// PopInto removes up to len(dst) micro-ops from the IDQ into dst and
+// returns how many were copied — the allocation-free form of Pop the
+// backend's dispatch stage uses every cycle.
+func (f *FrontEnd) PopInto(dst []isa.Uop) int {
+	n := len(dst)
+	if n > len(f.idq) {
+		n = len(f.idq)
+	}
+	copy(dst, f.idq[:n])
+	f.idq = f.idq[:copy(f.idq, f.idq[n:])]
+	return n
 }
 
 // fetchGroup is one fetch unit of work: the static macro-ops from the
@@ -185,9 +215,12 @@ type fetchGroup struct {
 	entry uint64
 	// next is where fetch continues after the group.
 	next uint64
-	// preds maps branch-End()-address → predicted (taken, target);
-	// consumed when annotating delivered branch micro-ops.
-	preds map[uint64]predOut
+	// preds records branch-End()-address → predicted (taken, target);
+	// consumed when annotating delivered branch micro-ops. A slice, not
+	// a map: instruction addresses strictly increase inside a group so
+	// entries are unique, groups hold only a handful of branches, and
+	// the backing array is reused across fetches.
+	preds []predRec
 	// halt: group contains HALT — fetch stops after delivery.
 	// serialize: group contains CPUID — fetch stops until retire.
 	halt      bool
@@ -202,12 +235,32 @@ type predOut struct {
 	valid  bool // predictor produced a target (indirect may not)
 }
 
+// predRec is one recorded branch prediction, keyed by the branch's
+// End() address.
+type predRec struct {
+	end uint64
+	p   predOut
+}
+
+// setPred records a prediction for the branch ending at end.
+func (g *fetchGroup) setPred(end uint64, p predOut) {
+	g.preds = append(g.preds, predRec{end: end, p: p})
+}
+
 // planFetch walks static code from pc, consulting the predictors, and
 // returns the fetch group. The group never crosses a region boundary
 // (micro-op cache traces are per-region) and ends early at the first
 // branch the predictor follows.
 func (f *FrontEnd) planFetch(pc uint64) *fetchGroup {
-	g := &fetchGroup{entry: pc, preds: make(map[uint64]predOut)}
+	// Reuse the embedded group: at most one fetch group is live at a
+	// time (startFetch only runs once the previous group has fully
+	// delivered and finished), so rebuilding in place is safe.
+	g := &f.group
+	g.insts = g.insts[:0]
+	g.preds = g.preds[:0]
+	g.entry = pc
+	g.next = 0
+	g.halt, g.serialize, g.fault = false, false, false
 	region := f.uc.RegionOf(pc)
 	regionEnd := region + f.uc.Config().RegionSize()
 	cur := pc
@@ -232,24 +285,24 @@ func (f *FrontEnd) planFetch(pc uint64) *fetchGroup {
 			g.next = in.End()
 			return g
 		case isa.JMP:
-			g.preds[in.End()] = predOut{taken: true, target: uint64(in.Imm), valid: true}
+			g.setPred(in.End(), predOut{taken: true, target: uint64(in.Imm), valid: true})
 			g.next = uint64(in.Imm)
 			return g
 		case isa.CALL:
 			f.bp.PushRSB(in.End())
-			g.preds[in.End()] = predOut{taken: true, target: uint64(in.Imm), valid: true}
+			g.setPred(in.End(), predOut{taken: true, target: uint64(in.Imm), valid: true})
 			g.next = uint64(in.Imm)
 			return g
 		case isa.JCC:
 			taken := f.bp.PredictDirection(in.Addr)
-			g.preds[in.End()] = predOut{taken: taken, target: uint64(in.Imm), valid: true}
+			g.setPred(in.End(), predOut{taken: taken, target: uint64(in.Imm), valid: true})
 			if taken {
 				g.next = uint64(in.Imm)
 				return g
 			}
 		case isa.JMPI, isa.CALLI:
 			t, ok := f.bp.PredictIndirect(in.Addr)
-			g.preds[in.End()] = predOut{taken: true, target: t, valid: ok}
+			g.setPred(in.End(), predOut{taken: true, target: t, valid: ok})
 			if in.Op == isa.CALLI {
 				f.bp.PushRSB(in.End())
 			}
@@ -263,7 +316,7 @@ func (f *FrontEnd) planFetch(pc uint64) *fetchGroup {
 			return g
 		case isa.RET:
 			t, ok := f.bp.PopRSB()
-			g.preds[in.End()] = predOut{taken: true, target: t, valid: ok}
+			g.setPred(in.End(), predOut{taken: true, target: t, valid: ok})
 			if ok {
 				g.next = t
 			} else {
@@ -271,13 +324,13 @@ func (f *FrontEnd) planFetch(pc uint64) *fetchGroup {
 			}
 			return g
 		case isa.SYSCALL:
-			g.preds[in.End()] = predOut{taken: true, target: f.cfg.KernelEntry, valid: true}
+			g.setPred(in.End(), predOut{taken: true, target: f.cfg.KernelEntry, valid: true})
 			f.sysRet = append(f.sysRet, in.End())
 			g.next = f.cfg.KernelEntry
 			return g
 		case isa.SYSRET:
 			t, ok := f.predictSysret()
-			g.preds[in.End()] = predOut{taken: true, target: t, valid: ok}
+			g.setPred(in.End(), predOut{taken: true, target: t, valid: ok})
 			g.next = t
 			if !ok {
 				g.next = 0
@@ -306,10 +359,14 @@ func (g *fetchGroup) annotate(u *isa.Uop) {
 		return
 	}
 	end := u.MacroAddr + uint64(u.MacroLen)
-	if p, ok := g.preds[end]; ok {
-		u.PredTaken = p.taken
-		if p.valid {
-			u.PredTarget = p.target
+	for i := range g.preds {
+		if g.preds[i].end == end {
+			p := g.preds[i].p
+			u.PredTaken = p.taken
+			if p.valid {
+				u.PredTarget = p.target
+			}
+			return
 		}
 	}
 }
@@ -406,7 +463,9 @@ func (f *FrontEnd) lsdRecord(entry uint64, uops []isa.Uop) {
 		return
 	}
 	const maxLog = 16
-	f.lsdLog = append(f.lsdLog, lsdRec{entry: entry, uops: uops})
+	// Copy: the caller's slice aliases a reusable delivery buffer
+	// (streamBuf on the DSB path) that the next fetch overwrites.
+	f.lsdLog = append(f.lsdLog, lsdRec{entry: entry, uops: append([]isa.Uop(nil), uops...)})
 	if len(f.lsdLog) > maxLog {
 		f.lsdLog = f.lsdLog[len(f.lsdLog)-maxLog:]
 	}
@@ -545,7 +604,8 @@ func (f *FrontEnd) startFetch() bool {
 		f.ctr.Inc(perfctr.L1IMisses)
 	}
 
-	if uops, hit := f.uc.Lookup(f.thread, g.entry); hit {
+	if uops, hit := f.uc.LookupAppend(f.thread, g.entry, f.streamBuf[:0]); hit {
+		f.streamBuf = uops[:0] // keep the (possibly grown) backing array
 		if covered := f.coverage(uops); covered >= g.groupEnd() {
 			stream := f.truncateToGroup(uops, g)
 			for i := range stream {
@@ -588,15 +648,15 @@ func (f *FrontEnd) coverage(uops []isa.Uop) uint64 {
 }
 
 // truncateToGroup cuts a cached trace down to the fetch group's extent
-// (the group may end early at a predicted-taken branch).
+// (the group may end early at a predicted-taken branch). The trace
+// lives in the front end's own stream buffer, so truncation is a
+// re-slice, not a copy.
 func (f *FrontEnd) truncateToGroup(uops []isa.Uop, g *fetchGroup) []isa.Uop {
 	end := g.groupEnd()
-	out := make([]isa.Uop, 0, len(uops))
 	for i := range uops {
 		if uops[i].MacroAddr >= end {
-			break
+			return uops[:i]
 		}
-		out = append(out, uops[i])
 	}
-	return out
+	return uops
 }

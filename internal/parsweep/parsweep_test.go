@@ -1,0 +1,169 @@
+package parsweep
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestMapPreservesOrder checks that results land at their input index
+// no matter how the scheduler interleaves workers.
+func TestMapPreservesOrder(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		got, err := Map(Options{Workers: workers}, 100, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 100 {
+			t.Fatalf("workers=%d: got %d results, want 100", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestMapEmpty checks the degenerate sweep.
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(Options{}, 0, func(i int) (int, error) { return 0, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty sweep: got %v, %v", got, err)
+	}
+}
+
+// TestMapError checks that a failing point surfaces its error and that
+// the sequential path reports the first (lowest-index) failure.
+func TestMapError(t *testing.T) {
+	sentinel := errors.New("point 3 broke")
+	for _, workers := range []int{1, 4} {
+		_, err := Map(Options{Workers: workers}, 10, func(i int) (int, error) {
+			if i == 3 || i == 7 {
+				return 0, fmt.Errorf("point %d broke", i)
+			}
+			return i, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: expected error", workers)
+		}
+		_ = sentinel
+		if workers == 1 && err.Error() != "point 3 broke" {
+			t.Fatalf("sequential: got error %q, want first failure", err)
+		}
+	}
+}
+
+// TestMapErrorStopsEarly checks the best-effort cancellation: once a
+// point fails, unstarted points should (mostly) not run. With one
+// worker and an early failure, nothing after the failing index runs.
+func TestMapErrorStopsEarly(t *testing.T) {
+	var ran atomic.Int64
+	_, err := Map(Options{Workers: 1}, 1000, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 2 {
+			return 0, errors.New("boom")
+		}
+		return 0, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if n := ran.Load(); n != 3 {
+		t.Fatalf("sequential early stop: ran %d points, want 3", n)
+	}
+}
+
+// TestMapArenaPerWorkerSetup checks that setup runs once per worker,
+// never more than the pool size, and that state is never shared
+// between concurrent points.
+func TestMapArenaPerWorkerSetup(t *testing.T) {
+	var setups atomic.Int64
+	type arena struct{ scratch []int }
+	const n = 200
+	got, err := MapArena(Options{Workers: 4}, n,
+		func() *arena {
+			setups.Add(1)
+			return &arena{scratch: make([]int, 8)}
+		},
+		func(a *arena, i int) (int, error) {
+			// Exclusive use: stamp, yield, verify the stamp survived.
+			a.scratch[0] = i
+			runtime.Gosched()
+			if a.scratch[0] != i {
+				return 0, fmt.Errorf("arena shared between workers at point %d", i)
+			}
+			return i, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("got %d results, want %d", len(got), n)
+	}
+	if s := setups.Load(); s < 1 || s > 4 {
+		t.Fatalf("setup ran %d times, want 1..4", s)
+	}
+}
+
+// TestMapWorkerPanicPropagates checks that a panicking point takes the
+// whole map down rather than deadlocking or being swallowed.
+func TestMapWorkerPanicPropagates(t *testing.T) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("expected panic to propagate")
+		}
+		if s := fmt.Sprint(p); !strings.Contains(s, "kaboom") {
+			t.Fatalf("panic %q does not mention original value", s)
+		}
+	}()
+	_, _ = Map(Options{Workers: 4}, 16, func(i int) (int, error) {
+		if i == 5 {
+			panic("kaboom")
+		}
+		return i, nil
+	})
+}
+
+// TestEffectiveWorkers pins the pool-sizing rules.
+func TestEffectiveWorkers(t *testing.T) {
+	if got := (Options{Workers: 8}).EffectiveWorkers(3); got != 3 {
+		t.Fatalf("capped by points: got %d, want 3", got)
+	}
+	if got := (Options{Workers: 2}).EffectiveWorkers(100); got != 2 {
+		t.Fatalf("capped by option: got %d, want 2", got)
+	}
+	if got := (Options{}).EffectiveWorkers(100); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("default: got %d, want GOMAXPROCS=%d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := (Options{Workers: -3}).EffectiveWorkers(100); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("negative: got %d, want GOMAXPROCS", got)
+	}
+}
+
+// TestMapDeterministicAcrossWorkerCounts runs the same pure sweep at
+// several pool sizes and requires byte-identical assembled results —
+// the core determinism contract the experiments rely on.
+func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) string {
+		got, err := Map(Options{Workers: workers}, 64, func(i int) (string, error) {
+			return fmt.Sprintf("point-%03d", i*7%64), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return strings.Join(got, "\n")
+	}
+	want := run(1)
+	for _, w := range []int{2, 3, 8} {
+		if got := run(w); got != want {
+			t.Fatalf("workers=%d output differs from sequential", w)
+		}
+	}
+}

@@ -521,7 +521,14 @@ func Predict(v *Victim) (Prediction, error) {
 // path — branch predictors and data caches stay warm throughout, so no
 // misprediction or memory-latency noise enters the delta.
 func MeasureDirection(v *Victim, secret int64) (int, error) {
-	c := cpu.New(cpu.Intel())
+	return MeasureDirectionWith(v, secret, nil)
+}
+
+// MeasureDirectionWith is MeasureDirection drawing the core's guest
+// memory from arena (which may be nil) — the sweep runners thread one
+// arena per worker through it.
+func MeasureDirectionWith(v *Victim, secret int64, a *cpu.Arena) (int, error) {
+	c := cpu.NewWith(cpu.Intel(), a)
 	c.LoadProgram(v.Prog)
 	c.Mem().Write(SecretAddr, 1, secret)
 	run := func(tag string) (cpu.RunResult, error) {
@@ -557,7 +564,11 @@ type Result struct {
 }
 
 // Run generates, predicts, and measures one seed.
-func Run(seed uint64) (Result, error) {
+func Run(seed uint64) (Result, error) { return RunWith(seed, nil) }
+
+// RunWith is Run reusing arena (which may be nil) for each direction's
+// simulated core.
+func RunWith(seed uint64, a *cpu.Arena) (Result, error) {
 	v, err := Generate(seed)
 	if err != nil {
 		return Result{}, err
@@ -566,11 +577,11 @@ func Run(seed uint64) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	mt, err := MeasureDirection(v, 1)
+	mt, err := MeasureDirectionWith(v, 1, a)
 	if err != nil {
 		return Result{}, err
 	}
-	mf, err := MeasureDirection(v, 0)
+	mf, err := MeasureDirectionWith(v, 0, a)
 	if err != nil {
 		return Result{}, err
 	}

@@ -18,11 +18,11 @@ const corpusSize = 200
 
 func TestDifferentialCorpus(t *testing.T) {
 	worst := 0.0
-	for seed := uint64(1); seed <= corpusSize; seed++ {
-		r, err := Run(seed)
-		if err != nil {
-			t.Fatalf("seed %d: %v", seed, err)
-		}
+	results, err := RunMany(SeedRange(1, corpusSize), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
 		if err := r.Validate(); err != nil {
 			t.Errorf("%v", err)
 			continue

@@ -1,0 +1,46 @@
+package difftest
+
+// parallel.go fans the differential corpora out over a bounded worker
+// pool. Every seed is an independent measurement — Generate is a pure
+// function of the seed and each direction runs on a fresh core — so
+// the corpus runners only need parsweep's ordering guarantee: results
+// come back seed-ordered and the reported failure is the
+// lowest-indexed one, making corpus runs reproducible at any worker
+// count.
+
+import (
+	"deaduops/internal/cpu"
+	"deaduops/internal/parsweep"
+)
+
+// RunMany runs every seed through the victim-side harness (Run) across
+// workers pool goroutines (0 selects GOMAXPROCS), one reusable
+// simulator arena per worker. Results are seed-ordered.
+func RunMany(seeds []uint64, workers int) ([]Result, error) {
+	return parsweep.MapArena(parsweep.Options{Workers: workers}, len(seeds),
+		func() *cpu.Arena { return new(cpu.Arena) },
+		func(a *cpu.Arena, i int) (Result, error) {
+			return RunWith(seeds[i], a)
+		})
+}
+
+// RunProbeMany runs every seed through the attacker-side harness
+// (RunProbe) across workers pool goroutines, one arena per worker.
+// Results are seed-ordered.
+func RunProbeMany(seeds []uint64, workers int) ([]ProbeResult, error) {
+	return parsweep.MapArena(parsweep.Options{Workers: workers}, len(seeds),
+		func() *cpu.Arena { return new(cpu.Arena) },
+		func(a *cpu.Arena, i int) (ProbeResult, error) {
+			return RunProbeWith(seeds[i], a)
+		})
+}
+
+// SeedRange returns the contiguous seed list [lo, hi] — the corpus
+// tests and benchmarks share it.
+func SeedRange(lo, hi uint64) []uint64 {
+	out := make([]uint64, 0, hi-lo+1)
+	for s := lo; s <= hi; s++ {
+		out = append(out, s)
+	}
+	return out
+}

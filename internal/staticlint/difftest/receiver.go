@@ -46,7 +46,11 @@ type ProbeResult struct {
 // and each secret direction gets a fresh core, training runs to
 // settle the branch predictors, then one attack.MeasureRounds round
 // with the victim's runs as the sender activity.
-func RunProbe(seed uint64) (ProbeResult, error) {
+func RunProbe(seed uint64) (ProbeResult, error) { return RunProbeWith(seed, nil) }
+
+// RunProbeWith is RunProbe reusing arena (which may be nil) for each
+// direction's simulated core.
+func RunProbeWith(seed uint64, arena *cpu.Arena) (ProbeResult, error) {
 	v, err := Generate(seed)
 	if err != nil {
 		return ProbeResult{}, err
@@ -70,7 +74,7 @@ func RunProbe(seed uint64) (ProbeResult, error) {
 	}
 
 	measure := func(secret int64) (hit, miss int, err error) {
-		c := cpu.New(cpu.Intel())
+		c := cpu.NewWith(cpu.Intel(), arena)
 		c.LoadProgram(merged)
 		c.Mem().Write(SecretAddr, 1, secret)
 		victim := func(tag string) error {

@@ -18,11 +18,11 @@ import (
 func TestProbeCorpus(t *testing.T) {
 	worst := 0.0
 	exact := 0
-	for seed := uint64(1); seed <= corpusSize; seed++ {
-		r, err := RunProbe(seed)
-		if err != nil {
-			t.Fatalf("seed %d: %v", seed, err)
-		}
+	results, err := RunProbeMany(SeedRange(1, corpusSize), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
 		if err := r.Validate(); err != nil {
 			t.Errorf("%v", err)
 			continue

@@ -258,6 +258,14 @@ func (c *Cache) matches(l *line, thread int, region uint64, entry uint8) bool {
 // thread. On a hit it returns the trace's micro-ops in order and bumps
 // line hotness. On a miss it returns nil.
 func (c *Cache) Lookup(thread int, addr uint64) ([]isa.Uop, bool) {
+	return c.LookupAppend(thread, addr, nil)
+}
+
+// LookupAppend is Lookup appending the streamed micro-ops to dst
+// instead of allocating, so a caller owning a reusable buffer (the
+// fetch engine's stream buffer) can stay allocation-free on every DSB
+// hit. On a miss dst is returned unchanged.
+func (c *Cache) LookupAppend(thread int, addr uint64, dst []isa.Uop) ([]isa.Uop, bool) {
 	region := c.RegionOf(addr)
 	entry := uint8(addr - region)
 	set := c.sets[c.setIndex(thread, region)]
@@ -278,14 +286,14 @@ func (c *Cache) Lookup(thread int, addr uint64) ([]isa.Uop, bool) {
 	}
 	if total < 0 || n != total {
 		c.stats.Misses++
-		return nil, false
+		return dst, false
 	}
-	var uops []isa.Uop
+	uops := dst
 	for s := 0; s < total; s++ {
 		l := found[s]
 		if l == nil {
 			c.stats.Misses++
-			return nil, false
+			return dst, false
 		}
 		if l.hotness < c.cfg.HotnessMax {
 			l.hotness++
@@ -293,7 +301,7 @@ func (c *Cache) Lookup(thread int, addr uint64) ([]isa.Uop, bool) {
 		uops = append(uops, l.uops...)
 	}
 	c.stats.Hits++
-	c.stats.StreamedUops += uint64(len(uops))
+	c.stats.StreamedUops += uint64(len(uops)-len(dst))
 	return uops, true
 }
 
