@@ -12,6 +12,7 @@
 //	uoplint -json            machine-readable findings
 //	uoplint -fixture pci-vpd lint one fixture
 //	uoplint -severity error  keep only error-level findings
+//	uoplint -checkers a,b    run only the named checkers (default all)
 //	uoplint -random 20       also lint 20 random programs
 //	uoplint -selftest        assert the canonical expectations (CI gate)
 package main
@@ -22,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"deaduops/internal/asm"
 	"deaduops/internal/attack"
@@ -50,6 +52,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fixture  = fs.String("fixture", "", "lint only the named fixture")
 		random   = fs.Int("random", 0, "also lint this many randomly generated programs")
 		selftest = fs.Bool("selftest", false, "assert canonical victim expectations and exit nonzero on mismatch")
+		checkers = fs.String("checkers", "", "comma-separated checker names to run (default: all)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -62,6 +65,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	lay := victim.DefaultLayout()
 	cfg := staticlint.DefaultConfig()
+	if *checkers != "" {
+		var names []string
+		for _, n := range strings.Split(*checkers, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+		sel, err := staticlint.SelectCheckers(names)
+		if err != nil {
+			fmt.Fprintln(stderr, "uoplint:", err)
+			return 2
+		}
+		cfg.Checkers = sel
+	}
 	spec := victimSpec(lay)
 
 	var reports []programReport
@@ -262,6 +279,15 @@ func selfTest(reports []programReport) []string {
 	expect("bounds-check", "secret-dependent-branch", true)
 	expect("bounds-check", "spectre-v1-gadget", false)
 	expect("indirect-call", "secret-dependent-branch", true)
+	// The front-end channel fixtures pin the two new checkers against
+	// each other: the alignment victim leaks only through jump
+	// alignment (both paths stay µop-cache resident), the switch victim
+	// only through its warm DSB→MITE re-entry (no jump on either path
+	// straddles a window).
+	expect("jcc-align", "secret-dependent-jump-alignment", true)
+	expect("jcc-align", "dsb-mite-switch", false)
+	expect("dsb-switch", "dsb-mite-switch", true)
+	expect("dsb-switch", "secret-dependent-jump-alignment", false)
 	// The interprocedural victim: both callee branches (register-passed
 	// and spill-passed secret) must be flagged, priced, and census'd,
 	// and at least one finding must carry the call chain that names the

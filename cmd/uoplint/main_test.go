@@ -275,3 +275,101 @@ func TestUnknownFixtureRejected(t *testing.T) {
 		t.Errorf("unknown fixture exit = %d, want 2", code)
 	}
 }
+
+// TestGoldenJccAlign pins the alignment-channel fixture: the
+// jump-alignment checker must fire with its cycle-quantified delta in
+// the JSON form.
+func TestGoldenJccAlign(t *testing.T) {
+	got := runJSON(t, "jcc-align")
+	goldenCompare(t, "jcc-align.json", got)
+
+	var pr struct {
+		Findings []struct {
+			Checker    string `json:"checker"`
+			AlignDelta int    `json:"predicted_align_delta_cycles"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal(got, &pr); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range pr.Findings {
+		if f.Checker == "secret-dependent-jump-alignment" {
+			found = true
+			if f.AlignDelta == 0 {
+				t.Error("jump-alignment finding carries no predicted_align_delta_cycles")
+			}
+		}
+		if f.Checker == "dsb-mite-switch" {
+			t.Error("jcc-align golden wrongly contains a dsb-mite-switch finding")
+		}
+	}
+	if !found {
+		t.Error("jcc-align golden lacks the secret-dependent-jump-alignment finding")
+	}
+}
+
+// TestGoldenDsbSwitch pins the switch-point fixture likewise.
+func TestGoldenDsbSwitch(t *testing.T) {
+	got := runJSON(t, "dsb-switch")
+	goldenCompare(t, "dsb-switch.json", got)
+
+	var pr struct {
+		Findings []struct {
+			Checker     string `json:"checker"`
+			SwitchDelta int    `json:"predicted_switch_delta_cycles"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal(got, &pr); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range pr.Findings {
+		if f.Checker == "dsb-mite-switch" {
+			found = true
+			if f.SwitchDelta == 0 {
+				t.Error("switch finding carries no predicted_switch_delta_cycles")
+			}
+		}
+		if f.Checker == "secret-dependent-jump-alignment" {
+			t.Error("dsb-switch golden wrongly contains a jump-alignment finding")
+		}
+	}
+	if !found {
+		t.Error("dsb-switch golden lacks the dsb-mite-switch finding")
+	}
+}
+
+// TestCheckersFlag pins the -checkers selection: only the named
+// checkers run, and an unknown name is a usage error.
+func TestCheckersFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", "-fixture", "jcc-align",
+		"-checkers", "secret-dependent-jump-alignment"}, &out, &errb); code != 0 {
+		t.Fatalf("uoplint exited %d: %s", code, errb.String())
+	}
+	var pr struct {
+		Findings []struct {
+			Checker string `json:"checker"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Findings) == 0 {
+		t.Fatal("selected checker produced no findings")
+	}
+	for _, f := range pr.Findings {
+		if f.Checker != "secret-dependent-jump-alignment" {
+			t.Errorf("-checkers leaked finding from %s", f.Checker)
+		}
+	}
+
+	var errOut bytes.Buffer
+	if code := run([]string{"-checkers", "no-such-checker"}, &out, &errOut); code != 2 {
+		t.Errorf("unknown checker exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown checker") {
+		t.Errorf("unknown-checker error = %q", errOut.String())
+	}
+}

@@ -1,0 +1,54 @@
+package attack
+
+// The alignment transmitter pair: two jump chains that are identical
+// in every quantity the micro-op cache or the backend can see — same
+// sets and ways, same micro-op count per region, same byte count per
+// region, same number of 16-byte predecode windows — and differ only
+// in where each region's conditional jump sits relative to a predecode
+// window boundary. The straddle chain's jcc spans the boundary at byte
+// 16 and pays decode.Config.JccAlignPenalty per region under legacy
+// decode (the Frontal-attack effect); the aligned chain's jcc sits
+// wholly inside a window and pays nothing. Both chains overflow the
+// 18-µop cacheability cap on purpose, so every traversal is
+// MITE-delivered and the alignment stall — which no amount of µop
+// cache warming can create or remove — is the only timing difference
+// between them.
+
+import "deaduops/internal/codegen"
+
+// Alignment-pair region layout. Each region decodes to 24 µops in 29
+// body bytes: the leading NOP pad, one fused CMP+JCC at the chosen
+// offset, single-byte tail NOPs, and the chain jump.
+const (
+	// AlignStraddleOffset places the jcc's two bytes at region offsets
+	// 15–16, straddling the predecode window boundary.
+	AlignStraddleOffset = 15
+	alignStraddleTail   = 10
+	// AlignAlignedOffset places the jcc at offsets 8–9, wholly inside
+	// the first window.
+	AlignAlignedOffset = 8
+	alignAlignedTail   = 17
+)
+
+// StraddleChain returns the boundary-straddling half of the alignment
+// transmitter at base over the geometry's tiger stripes.
+func StraddleChain(base uint64, g Geometry, label string) *codegen.ChainSpec {
+	return &codegen.ChainSpec{
+		Base: base, Sets: g.TigerSets(), Ways: g.NWays,
+		NopPerRegion: AlignStraddleOffset - 3, NopLen: 1,
+		JccOffset: AlignStraddleOffset, JccTailNops: alignStraddleTail,
+		Label: label,
+	}
+}
+
+// AlignedChain returns the window-aligned half of the alignment
+// transmitter at base: µop-for-µop and byte-for-byte the same load as
+// StraddleChain, with the jcc moved inside the window.
+func AlignedChain(base uint64, g Geometry, label string) *codegen.ChainSpec {
+	return &codegen.ChainSpec{
+		Base: base, Sets: g.TigerSets(), Ways: g.NWays,
+		NopPerRegion: AlignAlignedOffset - 3, NopLen: 1,
+		JccOffset: AlignAlignedOffset, JccTailNops: alignAlignedTail,
+		Label: label,
+	}
+}

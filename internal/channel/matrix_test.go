@@ -52,6 +52,13 @@ func TestChannelMatrix(t *testing.T) {
 			},
 			payload: "smt neighbours",
 		},
+		{
+			name: "jump-alignment-intel",
+			open: func() (transmitter, error) {
+				return NewAlignment(cpu.New(cpu.Intel()), DefaultConfig())
+			},
+			payload: "frontal bits",
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -68,6 +68,21 @@ type ChainSpec struct {
 	// from the sequencer under legacy decode — the other
 	// decode-latency amplifier besides LCP.
 	MsromUops int
+	// JccOffset, when nonzero, places a never-taken conditional jump at
+	// exactly that byte offset inside every region: the NOPs pad to
+	// JccOffset-3 bytes, then CMP R1,R1 (3 bytes) sets EQ so the
+	// following 2-byte JCC NE never fires, then JccTailNops single-byte
+	// NOPs, then the chain jump. The offset pins the jump's position
+	// relative to the 16-byte predecode window — offset 15 straddles the
+	// boundary and pays decode.Config.JccAlignPenalty on every legacy
+	// decode, any offset ≤ 13 (or ≥ 16, mod the window) does not — which
+	// is the alignment-channel amplifier (the Frontal-attack layout).
+	// Requires NopPerRegion*NopLen == JccOffset-3 and no MSROM macro-op.
+	JccOffset int
+	// JccTailNops pads the region after the conditional jump with that
+	// many single-byte NOPs, letting two chains with different JccOffset
+	// match each other's µop count and byte length exactly.
+	JccTailNops int
 	// Label prefixes the generated labels, letting several chains
 	// coexist in one builder.
 	Label string
@@ -96,6 +111,24 @@ func (s *ChainSpec) Validate() error {
 	if s.MsromUops != 0 && (s.MsromUops < 5 || s.MsromUops > 200) {
 		return fmt.Errorf("codegen: bad msrom µop count %d (want 0 or 5..200)", s.MsromUops)
 	}
+	if s.JccTailNops < 0 {
+		return fmt.Errorf("codegen: negative jcc tail nop count %d", s.JccTailNops)
+	}
+	if s.JccTailNops > 0 && s.JccOffset == 0 {
+		return fmt.Errorf("codegen: jcc tail nops without a jcc offset")
+	}
+	if s.JccOffset != 0 {
+		if s.JccOffset < 3 {
+			return fmt.Errorf("codegen: jcc offset %d leaves no room for the compare", s.JccOffset)
+		}
+		if s.MsromUops != 0 {
+			return fmt.Errorf("codegen: jcc offset and msrom macro-op are exclusive")
+		}
+		if pad := s.NopPerRegion * s.NopLen; pad != s.JccOffset-3 {
+			return fmt.Errorf("codegen: nop padding %d bytes does not place the jcc at offset %d (want %d)",
+				pad, s.JccOffset, s.JccOffset-3)
+		}
+	}
 	if body := s.regionBodyBytes(); body > RegionSize {
 		return fmt.Errorf("codegen: region body %d bytes exceeds %d", body, RegionSize)
 	}
@@ -103,11 +136,15 @@ func (s *ChainSpec) Validate() error {
 }
 
 // regionBodyBytes returns the encoded size of one region: NOPs, the
-// optional MSROM macro-op (3 bytes), and the 2-byte terminating jump.
+// optional MSROM macro-op (3 bytes) or compare+jcc pair (5 bytes) and
+// tail NOPs, and the 2-byte terminating jump.
 func (s *ChainSpec) regionBodyBytes() int {
 	body := s.NopPerRegion*s.NopLen + 2
 	if s.MsromUops > 0 {
 		body += 3
+	}
+	if s.JccOffset > 0 {
+		body += 5 + s.JccTailNops
 	}
 	return body
 }
@@ -140,8 +177,15 @@ func (s *ChainSpec) TailAddr() uint64 {
 }
 
 // UopsPerRegion returns the micro-op count of each region (NOPs, the
-// optional MSROM macro-op, plus the jump).
-func (s *ChainSpec) UopsPerRegion() int { return s.NopPerRegion + s.MsromUops + 1 }
+// optional MSROM macro-op or macro-fused compare+jcc pair and tail
+// NOPs, plus the jump).
+func (s *ChainSpec) UopsPerRegion() int {
+	n := s.NopPerRegion + s.MsromUops + 1
+	if s.JccOffset > 0 {
+		n += 1 + s.JccTailNops
+	}
+	return n
+}
 
 // Regions returns the number of regions in the chain.
 func (s *ChainSpec) Regions() int { return len(s.Sets) * s.Ways }
@@ -206,6 +250,18 @@ func (s *ChainSpec) Emit(b *asm.Builder, exitLabel string) error {
 		}
 		if s.MsromUops > 0 {
 			b.Msrom(s.MsromUops)
+		}
+		if s.JccOffset > 0 {
+			// CMP R1,R1 always sets EQ, so the NE jump never fires:
+			// architecturally a NOP pair, but the predecoder still has to
+			// mark the branch — at offset 15 its second byte lands in the
+			// next fetch window and the region stalls JccAlignPenalty
+			// cycles on every legacy decode.
+			b.Cmp(isa.R1, isa.R1)
+			b.Jcc(isa.NE, r.next)
+			for n := 0; n < s.JccTailNops; n++ {
+				b.Nop(1)
+			}
 		}
 		b.JmpShort(r.next)
 	}

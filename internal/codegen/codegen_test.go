@@ -274,3 +274,104 @@ func TestTailAddrAvoidsChainSets(t *testing.T) {
 		}
 	}
 }
+
+// TestChainJccOffsetEmission pins the alignment-channel region shape:
+// a JccOffset chain must place the never-taken conditional jump at
+// exactly the requested byte offset of every region, with the compare
+// immediately before it and the tail NOPs between it and the chain
+// jump.
+func TestChainJccOffsetEmission(t *testing.T) {
+	straddle := &ChainSpec{Base: 0x10000, Sets: []int{0, 8}, Ways: 2,
+		NopPerRegion: 3, NopLen: 4, JccOffset: 15, JccTailNops: 4, Label: "a"}
+	if err := straddle.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := straddle.UopsPerRegion(), 3+1+4+1; got != want {
+		t.Errorf("UopsPerRegion = %d, want %d", got, want)
+	}
+	if got, want := straddle.BodyBytes(), 15+2+4+2; got != want {
+		t.Errorf("BodyBytes = %d, want %d", got, want)
+	}
+	prog, err := straddle.LoopProgram(0x8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmps, jccs := map[uint64]bool{}, map[uint64]bool{}
+	for _, in := range prog.Insts {
+		off := in.Addr % RegionSize
+		switch {
+		case in.Op == isa.CMP && !in.HasImm:
+			cmps[in.Addr-off] = off == 12
+		case in.Op == isa.JCC && in.Cond == isa.NE && in.Addr >= straddle.Base:
+			jccs[in.Addr-off] = off == 15
+		}
+	}
+	if len(cmps) != straddle.Regions() || len(jccs) != straddle.Regions() {
+		t.Fatalf("cmp/jcc in %d/%d regions, want %d", len(cmps), len(jccs), straddle.Regions())
+	}
+	for addr, ok := range cmps {
+		if !ok {
+			t.Errorf("region %#x: compare not at offset 12", addr)
+		}
+	}
+	for addr, ok := range jccs {
+		if !ok {
+			t.Errorf("region %#x: jcc not at offset 15", addr)
+		}
+	}
+	// The never-taken jump must not change traversal: the loop runs to
+	// completion and drains the counter.
+	c := cpu.New(cpu.Intel())
+	c.LoadProgram(prog)
+	c.SetReg(0, isa.R14, 5)
+	if res := c.Run(0, prog.Entry, 1_000_000); res.TimedOut {
+		t.Fatal("jcc chain timed out")
+	}
+	if got := c.Reg(0, isa.R14); got != 0 {
+		t.Errorf("loop counter %d after run", got)
+	}
+}
+
+// TestChainJccOffsetMatchedPair verifies the channel's two halves can
+// be built µop-identical: a straddling chain (jcc at 15) and an aligned
+// chain (jcc at 12) with matched µop counts and predecode windows, so
+// the only per-region cost difference is the alignment stall.
+func TestChainJccOffsetMatchedPair(t *testing.T) {
+	straddle := &ChainSpec{Base: 0x10000, Sets: []int{0}, Ways: 2,
+		NopPerRegion: 3, NopLen: 4, JccOffset: 15, JccTailNops: 4, Label: "s"}
+	aligned := &ChainSpec{Base: 0x10000, Sets: []int{0}, Ways: 2,
+		NopPerRegion: 3, NopLen: 3, JccOffset: 12, JccTailNops: 4, Label: "l"}
+	for _, s := range []*ChainSpec{straddle, aligned} {
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if straddle.UopsPerRegion() != aligned.UopsPerRegion() {
+		t.Errorf("µops differ: %d vs %d", straddle.UopsPerRegion(), aligned.UopsPerRegion())
+	}
+	sw := (straddle.BodyBytes() + 15) / 16
+	aw := (aligned.BodyBytes() + 15) / 16
+	if sw != aw {
+		t.Errorf("predecode windows differ: %d vs %d", sw, aw)
+	}
+}
+
+func TestChainJccOffsetValidate(t *testing.T) {
+	bad := []ChainSpec{
+		// Padding does not reach the offset.
+		{Base: 0x10000, Sets: []int{0}, Ways: 1, NopPerRegion: 2, NopLen: 4, JccOffset: 15},
+		// MSROM macro-op and jcc are exclusive.
+		{Base: 0x10000, Sets: []int{0}, Ways: 1, MsromUops: 8, JccOffset: 3},
+		// No room for the compare.
+		{Base: 0x10000, Sets: []int{0}, Ways: 1, JccOffset: 2},
+		// Tail nops without a jcc.
+		{Base: 0x10000, Sets: []int{0}, Ways: 1, JccTailNops: 3},
+		// Body overflows the region.
+		{Base: 0x10000, Sets: []int{0}, Ways: 1, NopPerRegion: 4, NopLen: 5, JccOffset: 23, JccTailNops: 6},
+	}
+	for i, spec := range bad {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("bad jcc spec %d accepted", i)
+		}
+	}
+}

@@ -74,6 +74,14 @@ type RegionCost struct {
 	// contributing to ColdCycles.
 	LCPStallCycles int
 	MSROMUops      int
+	// AlignStallCycles breaks out the predecoder stalls charged to
+	// conditional jumps straddling a predecode-window boundary
+	// (Config.JccAlignPenalty); AlignJccs counts those jumps. Like LCP
+	// stalls they are paid only under legacy decode, so a
+	// secret-dependent difference in jump alignment widens the
+	// hit/miss asymmetry a receiver times.
+	AlignStallCycles int
+	AlignJccs        int
 	// Cacheable is false when the placement rules reject the region
 	// (Reason says why); such a segment has no hit/miss asymmetry.
 	Cacheable bool
@@ -92,12 +100,14 @@ func (t CostTable) Region(region uint64, entry uint8, insts []*isa.Inst) RegionC
 	plan := PlanRegion(t.Decode, insts)
 	tr := uopcache.BuildTrace(t.Cache, region, entry, plan.Macros)
 	c := RegionCost{
-		Uops:           plan.TotalUops(),
-		ColdCycles:     1 + t.Cache.SwitchPenalty + plan.Cycles(),
-		LCPStallCycles: plan.LCPStalls,
-		MSROMUops:      plan.MSROMUops,
-		Cacheable:      tr.Cacheable,
-		Reason:         tr.Reason,
+		Uops:             plan.TotalUops(),
+		ColdCycles:       1 + t.Cache.SwitchPenalty + plan.Cycles(),
+		LCPStallCycles:   plan.LCPStalls,
+		MSROMUops:        plan.MSROMUops,
+		AlignStallCycles: plan.AlignStalls,
+		AlignJccs:        plan.AlignJccs,
+		Cacheable:        tr.Cacheable,
+		Reason:           tr.Reason,
 	}
 	if c.Cacheable {
 		c.WarmCycles = t.StreamCycles(c.Uops)

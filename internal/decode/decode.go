@@ -33,6 +33,19 @@ type Config struct {
 	PredecodeWidth int
 	// MacroFusion enables compare+branch fusion.
 	MacroFusion bool
+	// JccAlignPenalty is the predecoder stall charged when a
+	// conditional jump's bytes straddle a PredecodeWindow boundary: the
+	// branch's last byte lands in the next fetch buffer, so the
+	// predecoder cannot mark the branch until that buffer arrives and
+	// the steering logic replays the window (the effect the Frontal
+	// attack and "On Abnormal Execution Timing of Conditional Jump
+	// Instructions" time on real Intel parts). Zero disables the model
+	// (AMD's aligned-fetch frontend does not exhibit it). Like the LCP
+	// penalty, the stall is MITE-only: a trace streamed from the
+	// micro-op cache never touches the predecoder, which is exactly
+	// what makes the alignment of a secret-dependent jump observable
+	// through DSB hit/miss timing.
+	JccAlignPenalty int
 }
 
 // Skylake returns the Skylake decode configuration.
@@ -46,6 +59,7 @@ func Skylake() Config {
 		PredecodeWindow: 16,
 		PredecodeWidth:  6,
 		MacroFusion:     true,
+		JccAlignPenalty: 2,
 	}
 }
 
@@ -135,6 +149,12 @@ type RegionPlan struct {
 	// LCPStalls counts stall cycles charged to length-changing
 	// prefixes.
 	LCPStalls int
+	// AlignStalls counts stall cycles charged to conditional jumps
+	// whose bytes straddle a predecode-window boundary (see
+	// Config.JccAlignPenalty); AlignJccs counts the straddling jumps
+	// themselves.
+	AlignStalls int
+	AlignJccs   int
 }
 
 // TotalUops returns the micro-op count of the plan.
@@ -142,6 +162,20 @@ func (p *RegionPlan) TotalUops() int { return p.MITEUops + p.MSROMUops }
 
 // Cycles returns the number of decode cycles the plan occupies.
 func (p *RegionPlan) Cycles() int { return len(p.Slots) }
+
+// JccStraddles reports whether in is a conditional jump whose encoded
+// bytes cross a predecode-window boundary — the alignment that makes
+// the legacy pipeline charge Config.JccAlignPenalty for it. A jump
+// whose first byte is the last byte of a window straddles; one starting
+// exactly on a boundary does not (its bytes sit wholly inside the new
+// window).
+func JccStraddles(cfg Config, in *isa.Inst) bool {
+	if in.Op != isa.JCC || cfg.JccAlignPenalty <= 0 || cfg.PredecodeWindow <= 0 {
+		return false
+	}
+	w := uint64(cfg.PredecodeWindow)
+	return in.Addr/w != (in.End()-1)/w
+}
 
 // Macros returns a uopcache.PlanFunc that decodes one region fetch
 // into its trace-builder macro-op groups (macro-fusion applied) under
@@ -174,8 +208,12 @@ func PlanRegion(cfg Config, insts []*isa.Inst) *RegionPlan {
 		if in.LCP {
 			p.LCPStalls += cfg.LCPPenalty
 		}
+		if JccStraddles(cfg, in) {
+			p.AlignJccs++
+			p.AlignStalls += cfg.JccAlignPenalty
+		}
 	}
-	preCycles := (bytes+cfg.PredecodeWindow-1)/cfg.PredecodeWindow + p.LCPStalls
+	preCycles := (bytes+cfg.PredecodeWindow-1)/cfg.PredecodeWindow + p.LCPStalls + p.AlignStalls
 	// Pre-size the schedule: at most one decode slot per macro-op on
 	// top of the predecode stalls.
 	p.Slots = make([][]isa.Uop, 0, preCycles+len(insts))

@@ -261,7 +261,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig3a", "fig3b", "fig4", "fig5", "fig6a", "fig6b",
 		"fig7a", "fig7b", "fig8", "fig9", "fig10", "table1", "table2",
 		"mitigations", "capacity", "invisispec", "leakpredict",
-		"probemodel",
+		"probemodel", "alignchannel",
 	}
 	for _, id := range want {
 		if _, ok := Registry[id]; !ok {
@@ -270,6 +270,27 @@ func TestRegistryComplete(t *testing.T) {
 	}
 	if len(IDs()) != len(want) {
 		t.Errorf("registry has %d entries, want %d: %v", len(IDs()), len(want), IDs())
+	}
+}
+
+// TestAlignChannelTable pins the alignment-channel validation table:
+// every row inside the differential contract, and exactly one
+// direction per victim carrying the straddling jccs whose stall the
+// channel transmits through.
+func TestAlignChannelTable(t *testing.T) {
+	tab, err := AlignChannel(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * len(alignChannelSeeds); len(tab.Rows) != want {
+		t.Fatalf("got %d rows, want %d", len(tab.Rows), want)
+	}
+	for i := 0; i < len(tab.Rows); i += 2 {
+		taken, fall := tab.Rows[i], tab.Rows[i+1]
+		if (taken[2] == "0") == (fall[2] == "0") {
+			t.Errorf("%s: straddling jccs %s/%s — exactly one direction must straddle",
+				taken[0], taken[2], fall[2])
+		}
 	}
 }
 

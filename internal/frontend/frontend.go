@@ -550,6 +550,7 @@ func (f *FrontEnd) tickMITE(room int) {
 	t := uopcache.BuildTrace(f.uc.Config(), region, entry, f.plan.Macros)
 	f.uc.Fill(f.thread, t)
 	f.ctr.Add(perfctr.LCPStallCycles, uint64(f.plan.LCPStalls))
+	f.ctr.Add(perfctr.JccAlignStallCycles, uint64(f.plan.AlignStalls))
 	f.lsdRecord(g.entry, f.planDelivered)
 	f.plan = nil
 	f.planIdx = 0

@@ -35,6 +35,11 @@ const (
 	// LCPStallCycles counts predecoder stalls from length-changing
 	// prefixes (ILD_STALL.LCP).
 	LCPStallCycles
+	// JccAlignStallCycles counts predecoder stalls charged to
+	// conditional jumps straddling a predecode-window boundary (the
+	// Frontal-attack timing effect; no documented Intel event, named
+	// as an ILD_STALL analogue).
+	JccAlignStallCycles
 	// L1IMisses, L2Misses count instruction-side misses.
 	L1IMisses
 	L2Misses
@@ -66,6 +71,7 @@ var eventNames = [NumEvents]string{
 	DSB2MITESwitches:     "dsb2mite_switches.count",
 	DSBMissPenaltyCycles: "dsb2mite_switches.penalty_cycles",
 	LCPStallCycles:       "ild_stall.lcp",
+	JccAlignStallCycles:  "ild_stall.jcc_align",
 	L1IMisses:            "icache.misses",
 	L2Misses:             "l2.inst_misses",
 	LLCRefs:              "longest_lat_cache.reference",

@@ -1,0 +1,119 @@
+package staticlint
+
+// Front-end delivery-channel checkers: leakage that needs no footprint
+// divergence at all. Even when a secret branch's two successor paths
+// occupy identical micro-op cache sets, the *shape* of legacy delivery
+// can differ — conditional jumps straddling a predecode-window
+// boundary stall the predecoder (the Frontal-attack effect), and paths
+// crossing different numbers of DSB↔MITE switch points pay different
+// transition-bubble totals (the Leaky-Frontends channel). Both
+// checkers price the asymmetry through the same decode.CostTable the
+// simulator charges, so every headline number is differentially
+// validated by internal/staticlint/difftest.
+
+import (
+	"fmt"
+
+	"deaduops/internal/isa"
+)
+
+// JumpAlignmentChecker flags secret-dependent conditional branches
+// whose two successor paths place conditional jumps at divergent
+// predecode-window alignments: one direction's jumps straddle 16-byte
+// boundaries (paying decode.Config.JccAlignPenalty per jump under
+// legacy decode) while the other's do not. The stall is MITE-only, so
+// the directions' DSB refill penalties differ by the alignment delta —
+// a timing channel that leaks the branch direction even when both
+// paths are µop-identical and footprint-identical.
+type JumpAlignmentChecker struct{}
+
+// Name implements Checker.
+func (JumpAlignmentChecker) Name() string { return "secret-dependent-jump-alignment" }
+
+// Check implements Checker.
+func (c JumpAlignmentChecker) Check(a *Analysis) []Finding {
+	var out []Finding
+	if a.Cfg.Decode.JccAlignPenalty <= 0 {
+		return out // the modelled frontend has no alignment effect
+	}
+	for _, sb := range a.secretBranches() {
+		if sb.inst.Op != isa.JCC {
+			continue
+		}
+		takenPath := a.walkPath(uint64(sb.inst.Imm), a.Cfg.PathBudget)
+		fallPath := a.walkPath(sb.inst.End(), a.Cfg.PathBudget)
+		takenCost := a.CostRanges(takenPath.Ranges)
+		fallCost := a.CostRanges(fallPath.Ranges)
+		delta := takenCost.AlignStallCycles - fallCost.AlignStallCycles
+		if delta == 0 {
+			continue
+		}
+		msg := fmt.Sprintf(
+			"secret-dependent branch %v: successor paths place conditional jumps at divergent predecode-window alignments (taken straddles %d boundary(ies), fallthrough %d); predicted align delta %+dc of MITE-only stall",
+			sb.inst, takenCost.AlignJccs, fallCost.AlignJccs, delta)
+		out = append(out, Finding{
+			Checker:          c.Name(),
+			Severity:         SevWarning,
+			Conf:             sb.conf,
+			Addr:             sb.inst.Addr,
+			Message:          msg,
+			Sources:          a.sourceStrings(sb.taint),
+			CallChain:        a.callChainTo(sb.inst.Addr),
+			TakenCost:        &takenCost,
+			FallCost:         &fallCost,
+			ProbeDeltaCycles: takenCost.RefillDelta - fallCost.RefillDelta,
+			AlignDeltaCycles: delta,
+		})
+	}
+	return out
+}
+
+// SwitchPointChecker flags secret-dependent conditional branches whose
+// two successor paths cross different numbers of DSB→MITE switch
+// points on a warm traversal — one direction re-enters legacy decode
+// (uncacheable regions, MSROM streams) more often than the other.
+// Every switch costs a fetch bubble of 1 + SwitchPenalty cycles that
+// no amount of cache warming removes, so the directions stay
+// distinguishable even against a receiver that cannot evict the
+// victim: the transition count itself is the transmitter.
+type SwitchPointChecker struct{}
+
+// Name implements Checker.
+func (SwitchPointChecker) Name() string { return "dsb-mite-switch" }
+
+// Check implements Checker.
+func (c SwitchPointChecker) Check(a *Analysis) []Finding {
+	var out []Finding
+	bubble := 1 + a.Cfg.Costs().SwitchPenalty()
+	for _, sb := range a.secretBranches() {
+		if sb.inst.Op != isa.JCC {
+			continue
+		}
+		takenPath := a.walkPath(uint64(sb.inst.Imm), a.Cfg.PathBudget)
+		fallPath := a.walkPath(sb.inst.End(), a.Cfg.PathBudget)
+		takenCost := a.CostRanges(takenPath.Ranges)
+		fallCost := a.CostRanges(fallPath.Ranges)
+		diff := takenCost.WarmSwitchPoints - fallCost.WarmSwitchPoints
+		if diff == 0 {
+			continue
+		}
+		delta := diff * bubble
+		msg := fmt.Sprintf(
+			"secret-dependent branch %v: successor paths cross divergent DSB→MITE switch-point counts on a warm traversal (taken %d, fallthrough %d); predicted switch delta %+dc at %dc per switch bubble",
+			sb.inst, takenCost.WarmSwitchPoints, fallCost.WarmSwitchPoints, delta, bubble)
+		out = append(out, Finding{
+			Checker:           c.Name(),
+			Severity:          SevWarning,
+			Conf:              sb.conf,
+			Addr:              sb.inst.Addr,
+			Message:           msg,
+			Sources:           a.sourceStrings(sb.taint),
+			CallChain:         a.callChainTo(sb.inst.Addr),
+			TakenCost:         &takenCost,
+			FallCost:          &fallCost,
+			ProbeDeltaCycles:  takenCost.RefillDelta - fallCost.RefillDelta,
+			SwitchDeltaCycles: delta,
+		})
+	}
+	return out
+}

@@ -18,6 +18,7 @@ import (
 	"deaduops/internal/codegen"
 	"deaduops/internal/cpu"
 	"deaduops/internal/isa"
+	"deaduops/internal/perfctr"
 	"deaduops/internal/staticlint"
 	"deaduops/internal/uopcache"
 )
@@ -54,6 +55,11 @@ const (
 	// WayStride of its base).
 	uncFallBase  = takenBase + 0x8000
 	uncTakenBase = takenBase + 0xC000
+	// helperBase hosts ShapeIndirect's callee: the entry region ends
+	// with an indirect call here, and the secret branch sits in the
+	// region fetch returns to. The address is WayStride-aligned and
+	// clear of both chains' spans.
+	helperBase = entryBase + 0x6000
 	// exitAddr hosts the shared exit block both chains jump to.
 	exitAddr = takenBase + 0x10000
 
@@ -95,6 +101,34 @@ const (
 	// probe-visible footprint, and delta-neutral between warm and cold
 	// runs — the placement-rule edge the quantifier must price as zero.
 	ShapeUncacheable
+
+	// numRandomShapes bounds the shapes Generate draws from. The shapes
+	// below are reached only through GenerateShape: widening the draw
+	// would reshuffle every existing fuzz-corpus seed.
+	numRandomShapes = 6
+
+	// ShapeAlign pins the two directions' chains to divergent
+	// conditional-jump alignments: one direction's regions place a
+	// never-taken JCC straddling the 16-byte predecode-window boundary
+	// (offset 15), the other's place it wholly inside a window. The
+	// chains are otherwise µop-matched flavours, so the alignment stall
+	// (decode.Config.JccAlignPenalty, MITE-only) is the asymmetry the
+	// secret-dependent-jump-alignment checker must price.
+	ShapeAlign Shape = 6
+	// ShapeSwitch gives only the taken direction an uncacheable tail
+	// chain of 2-4 regions: its warm traversal pays one DSB→MITE
+	// switch bubble per tail region while the fall-through pays none —
+	// the switch-point-count channel the dsb-mite-switch checker
+	// detects, validated against the simulator's
+	// dsb2mite_switches.count counter.
+	ShapeSwitch Shape = 7
+	// ShapeIndirect routes control through an indirect call (CALLI via
+	// a register) before the secret branch: the branch sits in the
+	// region the call returns to, so its taint reaches the checker only
+	// through the interprocedural havoc fallback — the soundness edge
+	// this shape pins (an unsound havoc would silently drop the secret
+	// and miss the branch).
+	ShapeIndirect Shape = 8
 )
 
 // String implements fmt.Stringer.
@@ -112,6 +146,12 @@ func (s Shape) String() string {
 		return "shared-suffix"
 	case ShapeUncacheable:
 		return "uncacheable"
+	case ShapeAlign:
+		return "align"
+	case ShapeSwitch:
+		return "switch"
+	case ShapeIndirect:
+		return "indirect"
 	default:
 		return "shape?"
 	}
@@ -142,8 +182,12 @@ type Victim struct {
 	// Suffix is the shared tail chain (ShapeSharedSuffix only).
 	Suffix *codegen.ChainSpec
 	// TakenUnc and FallUnc are the per-direction uncacheable tail
-	// chains (ShapeUncacheable only).
+	// chains (ShapeUncacheable both, ShapeSwitch TakenUnc only).
 	TakenUnc, FallUnc *codegen.ChainSpec
+	// Helper and RetSite are ShapeIndirect's callee entry and the
+	// return-site address the indirect call resumes at (zero
+	// otherwise); Predict stitches the fetch path across them.
+	Helper, RetSite uint64
 }
 
 // Spec declares the generated victims' secret byte. The spill slot is
@@ -286,6 +330,64 @@ func uncChainShape(r *rng, base uint64, lo, hi int, label string) codegen.ChainS
 	return s
 }
 
+// switchTailShape draws ShapeSwitch's taken-direction tail: 2-4
+// uncacheable regions (one way each), so a warm traversal of the taken
+// direction pays that many DSB→MITE switch bubbles more than the
+// fall-through — the switch-point-count asymmetry under test.
+func switchTailShape(r *rng, base uint64, lo, hi int, label string) codegen.ChainSpec {
+	s := codegen.ChainSpec{Base: base, Label: label}
+	s.NopPerRegion = 19 + r.intn(11)
+	s.NopLen = 1
+	s.Sets = pickSets(r, 2+r.intn(3), lo, hi, -1)
+	s.Ways = 1
+	return s
+}
+
+// alignChainShape draws one of ShapeAlign's direction chains: every
+// region carries a never-taken conditional jump pinned to a chosen
+// predecode-window offset. A straddling chain puts the jump at offset
+// 15 (its second byte crosses the 16-byte boundary, stalling the
+// predecoder JccAlignPenalty cycles per region under legacy decode);
+// an aligned chain puts it at offset 8 or 12, wholly inside a window.
+// NOP padding is drawn from the divisors of the pad span, and the tail
+// NOP count varies region µops — so the corpus covers µop-matched and
+// µop-skewed direction pairs alike.
+func alignChainShape(r *rng, base uint64, lo, hi, first int, label string, straddle bool) codegen.ChainSpec {
+	s := codegen.ChainSpec{Base: base, Label: label}
+	if straddle {
+		s.JccOffset = 15
+	} else {
+		s.JccOffset = []int{8, 12}[r.intn(2)]
+	}
+	pad := s.JccOffset - 3
+	var divs []int
+	for d := 1; d <= pad; d++ {
+		if pad%d == 0 {
+			divs = append(divs, d)
+		}
+	}
+	s.NopLen = divs[r.intn(len(divs))]
+	s.NopPerRegion = pad / s.NopLen
+	s.JccTailNops = r.intn(4)
+	lines := ceilDiv(s.UopsPerRegion(), slotsPerLine)
+	nSets := 1 + r.intn(3)
+	maxWays := cacheWays / lines
+	if maxWays > 3 {
+		maxWays = 3
+	}
+	ways := 1 + r.intn(maxWays)
+	if nSets*ways < 2 {
+		if maxWays >= 2 {
+			ways = 2
+		} else {
+			nSets = 2
+		}
+	}
+	s.Sets = pickSets(r, nSets, lo, hi, first)
+	s.Ways = ways
+	return s
+}
+
 // suffixShape draws ShapeSharedSuffix's small common tail chain: one
 // or two regions in sets 30/31 (untouched by either direction's set
 // pool), one way, plain short NOPs — a tail both directions fetch, so
@@ -314,13 +416,32 @@ func suffixShape(r *rng) codegen.ChainSpec {
 // and the two directions' chain set pools are disjoint.
 func Generate(seed uint64) (*Victim, error) {
 	r := rng{x: seed}
-	shape := Shape(r.intn(6))
+	shape := Shape(r.intn(numRandomShapes))
+	return generate(seed, shape, &r)
+}
+
+// GenerateShape builds a victim of an explicitly chosen shape for
+// seed, bypassing Generate's shape draw — the entry point for the
+// shapes outside the random pool (ShapeAlign, ShapeSwitch,
+// ShapeIndirect) and for per-shape corpora. For the random-pool shapes
+// the stream differs from Generate's (no draw is consumed), so the two
+// entry points yield different victims for the same seed.
+func GenerateShape(seed uint64, shape Shape) (*Victim, error) {
+	if shape < 0 || shape > ShapeIndirect {
+		return nil, fmt.Errorf("difftest: unknown shape %d", int(shape))
+	}
+	r := rng{x: seed}
+	return generate(seed, shape, &r)
+}
+
+func generate(seed uint64, shape Shape, rp *rng) (*Victim, error) {
+	r := *rp
 	v := &Victim{Seed: seed, Shape: shape}
 	b := asm.New(entryBase)
 	b.Label("entry")
 	var branch uint64
 	switch shape {
-	case ShapeLeaf, ShapeNested, ShapeSharedSuffix, ShapeUncacheable:
+	case ShapeLeaf, ShapeNested, ShapeSharedSuffix, ShapeUncacheable, ShapeSwitch:
 		// Fall chain: lives in the entry chain's low half; its first
 		// region is the one the branch cascade falls through into (set 1
 		// after the entry region, set 2 when the nested region follows).
@@ -408,6 +529,42 @@ func Generate(seed uint64) (*Victim, error) {
 		}
 		branch = b.PC()
 		b.Jcc(isa.NE, v.Taken.EntryLabel()) // 2 bytes; ends at a region boundary
+	case ShapeAlign:
+		// The leaf entry, but one direction's chain straddles the
+		// predecode-window boundary with every region's conditional jump
+		// while the other's stays aligned. Which direction straddles is
+		// drawn per seed, so the corpus exercises both signs of the
+		// alignment delta.
+		straddleTaken := r.intn(2) == 1
+		v.Fall = alignChainShape(&r, entryBase, 2, 15, 1, "fall", !straddleTaken)
+		v.Taken = alignChainShape(&r, takenBase, 16, 31, -1, "taken", straddleTaken)
+		b.Xor(isa.R1, isa.R1)                      // 3 bytes
+		b.Loadb(isa.R2, isa.R1, int64(SecretAddr)) // 4 bytes
+		b.Cmpi(isa.R2, 0)                          // 4 bytes
+		b.Nop(15)                                  // pad so the branch ends the region
+		b.Nop(4)
+		branch = b.PC()
+		b.Jcc(isa.NE, v.Taken.EntryLabel()) // 2 bytes; ends exactly at entryBase+32
+	case ShapeIndirect:
+		// The entry region ends with an indirect call through a
+		// register; the secret branch sits in the region the call
+		// returns to, so its flags taint reaches the analysis only via
+		// the interprocedural havoc fallback at the unresolved call.
+		v.Fall = chainShape(&r, entryBase, 3, 15, 2, "fall")
+		v.Taken = chainShape(&r, takenBase, 16, 31, -1, "taken")
+		b.Xor(isa.R1, isa.R1)                      // 3 bytes
+		b.Loadb(isa.R2, isa.R1, int64(SecretAddr)) // 4 bytes
+		b.Movi(isa.R3, int64(helperBase))          // 5 bytes; resolved target, clean taint
+		b.Nop(15)
+		b.Nop(2)
+		b.Calli(isa.R3) // 3 bytes; ends exactly at entryBase+32
+		v.RetSite = b.PC()
+		v.Helper = helperBase
+		b.Cmpi(isa.R2, 0) // 4 bytes; the secret survives the call in R2
+		b.Nop(13)
+		b.Nop(13)
+		branch = b.PC()
+		b.Jcc(isa.NE, v.Taken.EntryLabel()) // 2 bytes; ends exactly at entryBase+64
 	}
 	exitLabel := "exit"
 	if shape == ShapeSharedSuffix {
@@ -424,6 +581,14 @@ func Generate(seed uint64) (*Victim, error) {
 		v.FallUnc, v.TakenUnc = &fu, &tu
 		fallExit, takenExit = fu.EntryLabel(), tu.EntryLabel()
 	}
+	if shape == ShapeSwitch {
+		// Only the taken direction drains into an uncacheable tail: its
+		// warm traversal pays one DSB→MITE switch per tail region, the
+		// fall-through pays none.
+		tu := switchTailShape(&r, uncTakenBase, 16, 31, "takenunc")
+		v.TakenUnc = &tu
+		takenExit = tu.EntryLabel()
+	}
 	if err := v.Fall.Emit(b, fallExit); err != nil {
 		return nil, fmt.Errorf("difftest seed %d (%s): fall chain: %w", seed, shape, err)
 	}
@@ -431,6 +596,23 @@ func Generate(seed uint64) (*Victim, error) {
 		b.Org(nestedStubAddr)
 		b.Label("nested_out")
 		b.Jmp("exit")
+	}
+	if shape == ShapeIndirect {
+		// The callee: one cacheable region of pure NOPs ending in the
+		// RET that resumes fetch at the return site. Emitted between the
+		// chains so builder addresses stay ascending. The NOPs are
+		// single-byte on purpose: 16 of them plus the two-µop RET fill
+		// the region to the 18-µop cacheability cap, so the dispatch
+		// stream keeps the RET's return-address pop a full drain group
+		// behind the CALLI's push and the pop never pays a
+		// load-after-store ordering stall that only warm (drain-bound)
+		// runs would observe.
+		b.Org(helperBase)
+		b.Label("helper")
+		for i := 0; i < 16; i++ {
+			b.Nop(1)
+		}
+		b.Ret()
 	}
 	if err := v.Taken.Emit(b, takenExit); err != nil {
 		return nil, fmt.Errorf("difftest seed %d (%s): taken chain: %w", seed, shape, err)
@@ -444,6 +626,8 @@ func Generate(seed uint64) (*Victim, error) {
 		if err := v.FallUnc.Emit(b, "exit"); err != nil {
 			return nil, fmt.Errorf("difftest seed %d (%s): fall uncacheable tail: %w", seed, shape, err)
 		}
+	}
+	if v.TakenUnc != nil {
 		if err := v.TakenUnc.Emit(b, "exit"); err != nil {
 			return nil, fmt.Errorf("difftest seed %d (%s): taken uncacheable tail: %w", seed, shape, err)
 		}
@@ -499,11 +683,25 @@ func Predict(v *Victim) (Prediction, error) {
 		return Prediction{}, fmt.Errorf("difftest seed %d: finding carries no path costs", v.Seed)
 	}
 	branch := v.Prog.At(v.Branch)
-	prefix := a.FetchRanges(v.Entry, branch.End())
+	var prefix []uopcache.Range
+	fallRanges := a.FetchRanges(v.Entry, 0)
+	if v.Shape == ShapeIndirect {
+		// The straight-line walk ends at the indirect call, so stitch
+		// the run the simulator actually fetches: entry region through
+		// the CALLI, the callee through its RET, then the return site up
+		// to the branch.
+		prefix = append(prefix, a.FetchRanges(v.Entry, 0)...)
+		prefix = append(prefix, a.FetchRanges(v.Helper, 0)...)
+		prefix = append(prefix, a.FetchRanges(v.RetSite, branch.End())...)
+		fallRanges = append(append([]uopcache.Range(nil), prefix...),
+			a.FetchRanges(branch.End(), 0)...)
+	} else {
+		prefix = a.FetchRanges(v.Entry, branch.End())
+	}
 	takenRanges := append(append([]uopcache.Range(nil), prefix...),
 		a.FetchRanges(uint64(branch.Imm), 0)...)
 	takenCost := a.RunCost(takenRanges)
-	fallCost := a.RunCost(a.FetchRanges(v.Entry, 0))
+	fallCost := a.RunCost(fallRanges)
 	return Prediction{
 		Finding:   *found,
 		TakenCost: takenCost,
@@ -555,12 +753,44 @@ func MeasureDirectionWith(v *Victim, secret int64, a *cpu.Arena) (int, error) {
 	return int(cold.Cycles) - int(warm.Cycles), nil
 }
 
+// MeasureSwitches runs the victim with the secret steering one
+// direction and returns the DSB→MITE switch counts of a fully warmed
+// traversal and of a flushed (cold) traversal — the per-run transition
+// counts the quantifier predicts as WarmSwitchPoints/ColdSwitchPoints.
+// Unlike the cycle deltas these are exact counter reads, so the
+// validation contract is equality, not a tolerance band.
+func MeasureSwitches(v *Victim, secret int64, a *cpu.Arena) (warm, cold int, err error) {
+	c := cpu.NewWith(cpu.Intel(), a)
+	c.LoadProgram(v.Prog)
+	c.Mem().Write(SecretAddr, 1, secret)
+	for i := 0; i < trainRuns; i++ {
+		if res := c.Run(0, v.Entry, maxCycles); res.TimedOut {
+			return 0, 0, fmt.Errorf("difftest seed %d: switch train run timed out", v.Seed)
+		}
+	}
+	wres := c.Run(0, v.Entry, maxCycles)
+	if wres.TimedOut {
+		return 0, 0, fmt.Errorf("difftest seed %d: switch warm run timed out", v.Seed)
+	}
+	c.FlushUopCache()
+	cres := c.Run(0, v.Entry, maxCycles)
+	if cres.TimedOut {
+		return 0, 0, fmt.Errorf("difftest seed %d: switch cold run timed out", v.Seed)
+	}
+	return int(wres.Counters.Get(perfctr.DSB2MITESwitches)),
+		int(cres.Counters.Get(perfctr.DSB2MITESwitches)), nil
+}
+
 // Result is one victim's predicted-vs-measured comparison.
 type Result struct {
 	Seed                uint64
 	PredTaken, PredFall int
 	MeasTaken, MeasFall int
 	Victim              *Victim
+	// Prediction carries the full static side — per-direction path
+	// costs including align-stall and switch-point breakouts — for the
+	// per-shape validation the cycle deltas alone cannot express.
+	Prediction *Prediction
 }
 
 // Run generates, predicts, and measures one seed.
@@ -573,6 +803,25 @@ func RunWith(seed uint64, a *cpu.Arena) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	return runVictim(v, a)
+}
+
+// RunShape is Run with the victim shape pinned (via GenerateShape)
+// instead of drawn from the seed — the per-shape corpora use it.
+func RunShape(seed uint64, shape Shape) (Result, error) {
+	return RunShapeWith(seed, shape, nil)
+}
+
+// RunShapeWith is RunShape reusing arena for each direction's core.
+func RunShapeWith(seed uint64, shape Shape, a *cpu.Arena) (Result, error) {
+	v, err := GenerateShape(seed, shape)
+	if err != nil {
+		return Result{}, err
+	}
+	return runVictim(v, a)
+}
+
+func runVictim(v *Victim, a *cpu.Arena) (Result, error) {
 	p, err := Predict(v)
 	if err != nil {
 		return Result{}, err
@@ -586,12 +835,13 @@ func RunWith(seed uint64, a *cpu.Arena) (Result, error) {
 		return Result{}, err
 	}
 	return Result{
-		Seed:      seed,
-		PredTaken: p.Taken,
-		PredFall:  p.Fall,
-		MeasTaken: mt,
-		MeasFall:  mf,
-		Victim:    v,
+		Seed:       v.Seed,
+		PredTaken:  p.Taken,
+		PredFall:   p.Fall,
+		MeasTaken:  mt,
+		MeasFall:   mf,
+		Victim:     v,
+		Prediction: &p,
 	}, nil
 }
 
@@ -655,8 +905,11 @@ func (r Result) Describe() string {
 	if v.Suffix != nil {
 		d += fmt.Sprintf(", suffix %s", describeChain(*v.Suffix))
 	}
+	if v.TakenUnc != nil {
+		d += fmt.Sprintf(", taken-unc %s", describeChain(*v.TakenUnc))
+	}
 	if v.FallUnc != nil {
-		d += fmt.Sprintf(", taken-unc %s, fall-unc %s", describeChain(*v.TakenUnc), describeChain(*v.FallUnc))
+		d += fmt.Sprintf(", fall-unc %s", describeChain(*v.FallUnc))
 	}
 	return d
 }
@@ -668,6 +921,9 @@ func describeChain(s codegen.ChainSpec) string {
 	}
 	if s.MsromUops > 0 {
 		amp = fmt.Sprintf("msrom%d", s.MsromUops)
+	}
+	if s.JccOffset > 0 {
+		amp = fmt.Sprintf("jcc@%d+%dt", s.JccOffset, s.JccTailNops)
 	}
 	return fmt.Sprintf("{sets %v ways %d nops %d×%d %s}", s.Sets, s.Ways, s.NopPerRegion, s.NopLen, amp)
 }

@@ -1,0 +1,266 @@
+package difftest
+
+import (
+	"reflect"
+	"testing"
+
+	"deaduops/internal/cpu"
+	"deaduops/internal/staticlint"
+)
+
+// TestAlignCorpus pins the alignment channel end to end: every
+// ShapeAlign victim must hold the differential contract, the predicted
+// align-stall asymmetry must point at whichever direction carries the
+// window-straddling jumps, and the straddle count must price exactly
+// (one straddling jcc per region, JccAlignPenalty cycles each).
+func TestAlignCorpus(t *testing.T) {
+	results, err := RunShapeMany(SeedRange(1, corpusSize), 0, ShapeAlign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	penalty := Config().Decode.JccAlignPenalty
+	var straddleTaken, straddleFall int
+	for _, r := range results {
+		if err := r.Validate(); err != nil {
+			t.Errorf("%v", err)
+			continue
+		}
+		v, p := r.Victim, r.Prediction
+		delta := p.TakenCost.AlignStallCycles - p.FallCost.AlignStallCycles
+		var want int
+		switch {
+		case v.Taken.JccOffset == 15 && v.Fall.JccOffset != 15:
+			want = v.Taken.Regions() * penalty
+			straddleTaken++
+		case v.Fall.JccOffset == 15 && v.Taken.JccOffset != 15:
+			want = -v.Fall.Regions() * penalty
+			straddleFall++
+		default:
+			t.Fatalf("seed %d: no single straddling direction (taken jcc@%d, fall jcc@%d)",
+				r.Seed, v.Taken.JccOffset, v.Fall.JccOffset)
+		}
+		if delta != want {
+			t.Errorf("seed %d: predicted align delta %+d, want %+d\nvictim: %s",
+				r.Seed, delta, want, r.Describe())
+		}
+		if p.TakenCost.AlignJccs != v.Taken.Regions()*btoi(v.Taken.JccOffset == 15) ||
+			p.FallCost.AlignJccs != v.Fall.Regions()*btoi(v.Fall.JccOffset == 15) {
+			t.Errorf("seed %d: straddle counts taken %d / fall %d for jcc@%d / jcc@%d",
+				r.Seed, p.TakenCost.AlignJccs, p.FallCost.AlignJccs,
+				v.Taken.JccOffset, v.Fall.JccOffset)
+		}
+	}
+	if straddleTaken == 0 || straddleFall == 0 {
+		t.Errorf("corpus covers only one straddle direction: taken %d, fall %d",
+			straddleTaken, straddleFall)
+	}
+	t.Logf("validated %d align victims (%d straddle-taken, %d straddle-fall)",
+		len(results), straddleTaken, straddleFall)
+}
+
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// TestAlignCheckerOnCorpus runs the jump-alignment checker over a
+// sample of generated victims and requires a finding at the generated
+// branch whose align delta matches the prediction's breakout.
+func TestAlignCheckerOnCorpus(t *testing.T) {
+	for seed := uint64(1); seed <= 25; seed++ {
+		v, err := GenerateShape(seed, ShapeAlign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := staticlint.Lint(v.Prog, Spec(), Config())
+		var hit *staticlint.Finding
+		for i, f := range r.ByChecker("secret-dependent-jump-alignment") {
+			if f.Addr == v.Branch {
+				hit = &r.ByChecker("secret-dependent-jump-alignment")[i]
+			}
+		}
+		if hit == nil {
+			t.Fatalf("seed %d: no jump-alignment finding at branch %#x", seed, v.Branch)
+		}
+		if (hit.AlignDeltaCycles > 0) != (v.Taken.JccOffset == 15) || hit.AlignDeltaCycles == 0 {
+			t.Errorf("seed %d: align delta %+d but straddling side is taken=%v",
+				seed, hit.AlignDeltaCycles, v.Taken.JccOffset == 15)
+		}
+	}
+}
+
+// TestSwitchCorpus pins the DSB↔MITE switch-point channel: every
+// ShapeSwitch victim must hold the cycle contract, and the predicted
+// per-direction switch-point counts must equal the simulator's
+// DSB2MITESwitches counter reads exactly — the switch contract is
+// counter equality, not tolerance.
+func TestSwitchCorpus(t *testing.T) {
+	results, err := RunShapeMany(SeedRange(1, corpusSize), 0, ShapeSwitch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arena := new(cpu.Arena)
+	for _, r := range results {
+		if err := r.Validate(); err != nil {
+			t.Errorf("%v", err)
+			continue
+		}
+		v, p := r.Victim, r.Prediction
+		if v.TakenUnc == nil {
+			t.Fatalf("seed %d: switch victim has no uncacheable taken tail", r.Seed)
+		}
+		diff := p.TakenCost.WarmSwitchPoints - p.FallCost.WarmSwitchPoints
+		if want := v.TakenUnc.Regions(); diff != want {
+			t.Errorf("seed %d: predicted warm switch-point diff %d, want %d (uncacheable tail regions)",
+				r.Seed, diff, want)
+		}
+		for _, dir := range []struct {
+			name   string
+			secret int64
+			cost   staticlint.PathCost
+		}{
+			{"taken", 1, p.TakenCost},
+			{"fall", 0, p.FallCost},
+		} {
+			warm, cold, err := MeasureSwitches(v, dir.secret, arena)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if warm != dir.cost.WarmSwitchPoints || cold != dir.cost.ColdSwitchPoints {
+				t.Errorf("seed %d %s: measured switches warm %d / cold %d, predicted %d / %d\nvictim: %s",
+					r.Seed, dir.name, warm, cold,
+					dir.cost.WarmSwitchPoints, dir.cost.ColdSwitchPoints, r.Describe())
+			}
+		}
+	}
+	t.Logf("validated %d switch victims against counter reads", len(results))
+}
+
+// TestSwitchCheckerOnCorpus requires the dsb-mite-switch checker to
+// fire at the generated branch with the tail chain's region count
+// priced at the full switch bubble.
+func TestSwitchCheckerOnCorpus(t *testing.T) {
+	bubble := 1 + Config().Costs().SwitchPenalty()
+	for seed := uint64(1); seed <= 25; seed++ {
+		v, err := GenerateShape(seed, ShapeSwitch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := staticlint.Lint(v.Prog, Spec(), Config())
+		var hit *staticlint.Finding
+		for i, f := range r.ByChecker("dsb-mite-switch") {
+			if f.Addr == v.Branch {
+				hit = &r.ByChecker("dsb-mite-switch")[i]
+			}
+		}
+		if hit == nil {
+			t.Fatalf("seed %d: no switch-point finding at branch %#x", seed, v.Branch)
+		}
+		if want := v.TakenUnc.Regions() * bubble; hit.SwitchDeltaCycles != want {
+			t.Errorf("seed %d: switch delta %+d, want %+d", seed, hit.SwitchDeltaCycles, want)
+		}
+	}
+}
+
+// TestIndirectCorpus holds the indirect-call victims to the same
+// differential contract as every other shape: the havoc fallback must
+// carry taint across the CALLI and the stitched fetch path must price
+// the callee exactly.
+func TestIndirectCorpus(t *testing.T) {
+	results, err := RunShapeMany(SeedRange(1, corpusSize), 0, ShapeIndirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if err := r.Validate(); err != nil {
+			t.Errorf("%v", err)
+		}
+	}
+	t.Logf("validated %d indirect-call victims", len(results))
+}
+
+// TestIndirectHavocSoundness is the regression pin for the
+// interprocedural havoc fallback: the secret loaded before the
+// indirect call must still taint the branch after it. If a future
+// "precision" change kills register taint across an unresolved CALLI
+// instead of havocking it, the secret-branch finding disappears and
+// this test fails — missed taint is unsoundness, not precision.
+func TestIndirectHavocSoundness(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3, 7, 42} {
+		v, err := GenerateShape(seed, ShapeIndirect)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := staticlint.Lint(v.Prog, Spec(), Config())
+		var hit *staticlint.Finding
+		for i, f := range r.ByChecker("secret-dependent-branch") {
+			if f.Addr == v.Branch {
+				hit = &r.ByChecker("secret-dependent-branch")[i]
+			}
+		}
+		if hit == nil {
+			t.Fatalf("seed %d: branch %#x after indirect call lost its taint (havoc fallback unsound)",
+				seed, v.Branch)
+		}
+		// The CALLI's own target is a constant register move — the
+		// havoc fallback must not invent taint on the call itself.
+		for _, f := range r.ByChecker("secret-dependent-branch") {
+			if f.Addr != v.Branch {
+				t.Errorf("seed %d: spurious secret-branch finding at %#x", seed, f.Addr)
+			}
+		}
+	}
+}
+
+// TestGenerateShapeDeterministic pins the pinned-shape generator the
+// same way TestGenerateDeterministic pins the seed-drawn one.
+func TestGenerateShapeDeterministic(t *testing.T) {
+	for _, shape := range []Shape{ShapeAlign, ShapeSwitch, ShapeIndirect} {
+		for _, seed := range []uint64{1, 7, 99} {
+			v1, err := GenerateShape(seed, shape)
+			if err != nil {
+				t.Fatalf("%v seed %d: %v", shape, seed, err)
+			}
+			v2, err := GenerateShape(seed, shape)
+			if err != nil {
+				t.Fatalf("%v seed %d: %v", shape, seed, err)
+			}
+			if v1.Branch != v2.Branch || v1.Helper != v2.Helper || v1.RetSite != v2.RetSite ||
+				!reflect.DeepEqual(v1.Taken, v2.Taken) ||
+				!reflect.DeepEqual(v1.Fall, v2.Fall) ||
+				!reflect.DeepEqual(v1.TakenUnc, v2.TakenUnc) {
+				t.Errorf("%v seed %d: generation not deterministic:\n%+v\n%+v", shape, seed, v1, v2)
+			}
+		}
+	}
+	if _, err := GenerateShape(1, ShapeIndirect+1); err == nil {
+		t.Error("out-of-range shape accepted")
+	}
+}
+
+// FuzzAlignmentDelta throws random seeds at the pinned alignment shape
+// and holds every victim to the acceptance contract plus a nonzero
+// align-stall asymmetry — the channel must never degenerate into a
+// symmetric victim. The committed corpus keeps the seeds that
+// calibrated the shape's geometry (pad-divisor NOP mixes, 1–3 sets ×
+// up to 3 ways, straddle on either direction).
+func FuzzAlignmentDelta(f *testing.F) {
+	for _, seed := range []uint64{1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 1337} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		r, err := RunShape(seed, ShapeAlign)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := r.Validate(); err != nil {
+			t.Error(err)
+		}
+		d := r.Prediction.TakenCost.AlignStallCycles - r.Prediction.FallCost.AlignStallCycles
+		if d == 0 {
+			t.Errorf("seed %d: alignment victim has no align-stall asymmetry", seed)
+		}
+	})
+}

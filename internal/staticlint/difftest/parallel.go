@@ -24,6 +24,17 @@ func RunMany(seeds []uint64, workers int) ([]Result, error) {
 		})
 }
 
+// RunShapeMany runs every seed through the victim-side harness with
+// the victim shape pinned (RunShape) across workers pool goroutines,
+// one arena per worker. Results are seed-ordered.
+func RunShapeMany(seeds []uint64, workers int, shape Shape) ([]Result, error) {
+	return parsweep.MapArena(parsweep.Options{Workers: workers}, len(seeds),
+		func() *cpu.Arena { return new(cpu.Arena) },
+		func(a *cpu.Arena, i int) (Result, error) {
+			return RunShapeWith(seeds[i], shape, a)
+		})
+}
+
 // RunProbeMany runs every seed through the attacker-side harness
 // (RunProbe) across workers pool goroutines, one arena per worker.
 // Results are seed-ordered.

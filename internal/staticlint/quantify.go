@@ -41,6 +41,18 @@ type PathCost struct {
 	// they are MITE-delivered on every traversal and contribute no
 	// hit/miss asymmetry.
 	UncacheableRegions int `json:"uncacheable_regions,omitempty"`
+	// AlignStallCycles and AlignJccs break out the predecoder stalls
+	// charged to conditional jumps straddling a predecode-window
+	// boundary (jump-alignment checker) contributing to ColdCycles.
+	AlignStallCycles int `json:"align_stall_cycles,omitempty"`
+	AlignJccs        int `json:"align_jccs,omitempty"`
+	// WarmSwitchPoints counts the DSB→MITE transitions a warm traversal
+	// of the path still pays — one per uncacheable segment, since the
+	// fetch engine falls back to legacy decode exactly there.
+	// ColdSwitchPoints counts the transitions of a fully evicted
+	// traversal: one per segment (dsb-mite-switch checker).
+	WarmSwitchPoints int `json:"warm_switch_points,omitempty"`
+	ColdSwitchPoints int `json:"cold_switch_points,omitempty"`
 }
 
 // Costs returns the shared cost table the quantifier prices with —
@@ -94,6 +106,12 @@ func (a *Analysis) costRanges(ranges []uopcache.Range, wholeRun bool) PathCost {
 		pc.Uops += rc.Uops
 		pc.LCPStallCycles += rc.LCPStallCycles
 		pc.MSROMUops += rc.MSROMUops
+		pc.AlignStallCycles += rc.AlignStallCycles
+		pc.AlignJccs += rc.AlignJccs
+		pc.ColdSwitchPoints++
+		if !rc.Cacheable {
+			pc.WarmSwitchPoints++
+		}
 		if !wholeRun {
 			pc.ColdCycles += rc.ColdCycles
 			if rc.Cacheable {

@@ -120,6 +120,15 @@ type Finding struct {
 	// ProbeDeltaCycles is the signed headline number: the taken path's
 	// refill penalty minus the fall-through path's.
 	ProbeDeltaCycles int `json:"-"`
+	// AlignDeltaCycles is the jump-alignment checker's headline: the
+	// taken path's boundary-straddle stall cycles minus the
+	// fall-through's (nonzero only on secret-dependent-jump-alignment
+	// findings).
+	AlignDeltaCycles int `json:"-"`
+	// SwitchDeltaCycles is the dsb-mite-switch checker's headline: the
+	// signed warm-traversal switch-bubble cost difference between the
+	// directions (switch-count difference × per-switch bubble cycles).
+	SwitchDeltaCycles int `json:"-"`
 	// Probe is the receiver model's predicted prime/probe timing
 	// histogram for a divergence finding (nil when inapplicable or the
 	// model is disabled).
@@ -151,8 +160,10 @@ type findingJSON struct {
 	DivergentSets    []int           `json:"divergent_sets,omitempty"`
 	TakenCost        *PathCost       `json:"taken_cost,omitempty"`
 	FallCost         *PathCost       `json:"fallthrough_cost,omitempty"`
-	ProbeDeltaCycles *int            `json:"predicted_probe_delta_cycles,omitempty"`
-	Probe            *ProbeHistogram `json:"probe_histogram,omitempty"`
+	ProbeDeltaCycles  *int            `json:"predicted_probe_delta_cycles,omitempty"`
+	AlignDeltaCycles  *int            `json:"predicted_align_delta_cycles,omitempty"`
+	SwitchDeltaCycles *int            `json:"predicted_switch_delta_cycles,omitempty"`
+	Probe             *ProbeHistogram `json:"probe_histogram,omitempty"`
 }
 
 func callChainJSON(chain []CallFrame) []callFrameJSON {
@@ -198,6 +209,14 @@ func (f Finding) MarshalJSON() ([]byte, error) {
 		d := f.ProbeDeltaCycles
 		j.ProbeDeltaCycles = &d
 	}
+	if f.AlignDeltaCycles != 0 {
+		d := f.AlignDeltaCycles
+		j.AlignDeltaCycles = &d
+	}
+	if f.SwitchDeltaCycles != 0 {
+		d := f.SwitchDeltaCycles
+		j.SwitchDeltaCycles = &d
+	}
 	return json.Marshal(j)
 }
 
@@ -229,6 +248,18 @@ func (f Finding) String() string {
 			f.TakenCost.WarmCycles, f.TakenCost.ColdCycles, f.TakenCost.RefillDelta,
 			f.FallCost.WarmCycles, f.FallCost.ColdCycles, f.FallCost.RefillDelta,
 			f.ProbeDeltaCycles)
+	}
+	if f.AlignDeltaCycles != 0 && f.TakenCost != nil && f.FallCost != nil {
+		fmt.Fprintf(&b, "\n    jump alignment: taken straddles %d boundary(ies) for %d stall cycles, fallthrough %d for %d — align delta %+d",
+			f.TakenCost.AlignJccs, f.TakenCost.AlignStallCycles,
+			f.FallCost.AlignJccs, f.FallCost.AlignStallCycles,
+			f.AlignDeltaCycles)
+	}
+	if f.SwitchDeltaCycles != 0 && f.TakenCost != nil && f.FallCost != nil {
+		fmt.Fprintf(&b, "\n    switch points: taken pays %d DSB→MITE switches warm (%d cold), fallthrough %d (%d cold) — switch delta %+d cycles",
+			f.TakenCost.WarmSwitchPoints, f.TakenCost.ColdSwitchPoints,
+			f.FallCost.WarmSwitchPoints, f.FallCost.ColdSwitchPoints,
+			f.SwitchDeltaCycles)
 	}
 	if p := f.Probe; p != nil {
 		verdict := "below floor — not decodable by a total-time probe"

@@ -35,6 +35,9 @@
 package staticlint
 
 import (
+	"fmt"
+	"strings"
+
 	"deaduops/internal/asm"
 	"deaduops/internal/backend"
 	"deaduops/internal/decode"
@@ -131,10 +134,41 @@ func AllCheckers() []Checker {
 	return []Checker{
 		SecretBranchChecker{},
 		FootprintDivergenceChecker{},
+		JumpAlignmentChecker{},
+		SwitchPointChecker{},
 		MITEAmplifierChecker{},
 		UopCacheGadgetChecker{},
 		SpectreV1Checker{},
 	}
+}
+
+// SelectCheckers resolves checker names (as reported by Checker.Name)
+// to the corresponding subset of the full suite, preserving report
+// order and ignoring duplicates. An unknown name is an error listing
+// the valid ones.
+func SelectCheckers(names []string) ([]Checker, error) {
+	all := AllCheckers()
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	var out []Checker
+	for _, c := range all {
+		if want[c.Name()] {
+			out = append(out, c)
+			delete(want, c.Name())
+		}
+	}
+	if len(want) > 0 {
+		valid := make([]string, 0, len(all))
+		for _, c := range all {
+			valid = append(valid, c.Name())
+		}
+		for n := range want {
+			return nil, fmt.Errorf("staticlint: unknown checker %q (valid: %s)", n, strings.Join(valid, ", "))
+		}
+	}
+	return out, nil
 }
 
 // Lint analyzes prog against spec and runs the configured checkers.

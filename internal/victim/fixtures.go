@@ -52,7 +52,89 @@ func Fixtures(l Layout) []Fixture {
 			Prog:        buildCalleeKill(l),
 			Layout:      l,
 		},
+		{
+			Name:        "jcc-align",
+			Description: "Frontal-attack victim: secret branch whose taken path straddles a predecode window",
+			Prog:        buildJccAlign(l),
+			Layout:      l,
+		},
+		{
+			Name:        "dsb-switch",
+			Description: "Leaky-Frontends victim: secret branch whose taken path re-enters legacy decode",
+			Prog:        buildDsbSwitch(l),
+			Layout:      l,
+		},
 	}
+}
+
+// buildJccAlign assembles the alignment-channel victim the
+// secret-dependent-jump-alignment checker gates on: the secret byte
+// steers a branch whose taken path places its conditional jump at
+// region offset 15 — the two jcc bytes straddle the 16-byte predecode
+// window boundary and stall the predecoder on every legacy delivery —
+// while the fall-through path's jump sits wholly inside a window. The
+// instruction mixes are otherwise NOP padding, so jump alignment is
+// the leak the checker must price.
+func buildJccAlign(l Layout) *asm.Program {
+	b := asm.New(FixtureOrg)
+	b.Label("main")
+	b.Xor(isa.R2, isa.R2)
+	b.Loadb(RegRet, isa.R2, int64(l.SecretBase))
+	b.Cmpi(RegRet, 0)
+	b.Jcc(isa.NE, "ja_hot")
+	b.Jmp("ja_cold")
+
+	// Fall path: jcc at region offset 12, inside the first window.
+	b.Org(FixtureOrg + 0x100)
+	b.Label("ja_cold")
+	b.Nop(12)
+	b.Jcc(isa.EQ, "ja_cold_x")
+	b.Label("ja_cold_x")
+	b.Halt()
+
+	// Taken path: jcc bytes at offsets 15–16, straddling the boundary.
+	b.Org(FixtureOrg + 0x200)
+	b.Label("ja_hot")
+	b.Nop(12)
+	b.Nop(3)
+	b.Jcc(isa.EQ, "ja_hot_x")
+	b.Label("ja_hot_x")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildDsbSwitch assembles the switch-point-channel victim the
+// dsb-mite-switch checker gates on: the taken path runs through a
+// region over the 18-µop cacheability cap, so a warm traversal still
+// pays one DSB→MITE transition there, while the fall-through path
+// stays resident end to end. The µop-cache footprints of the two
+// directions are what diverges least — the switch count is the signal.
+func buildDsbSwitch(l Layout) *asm.Program {
+	b := asm.New(FixtureOrg)
+	b.Label("main")
+	b.Xor(isa.R2, isa.R2)
+	b.Loadb(RegRet, isa.R2, int64(l.SecretBase))
+	b.Cmpi(RegRet, 0)
+	b.Jcc(isa.NE, "ds_hot")
+	b.Jmp("ds_cold")
+
+	// Fall path: 3 µops in one cacheable region.
+	b.Org(FixtureOrg + 0x100)
+	b.Label("ds_cold")
+	b.Nop(15)
+	b.Nop(15)
+	b.Halt()
+
+	// Taken path: 22 µops packed into one 32-byte region — past the
+	// 3-line cap, rejected by the µop cache, MITE-decoded every run.
+	b.Org(FixtureOrg + 0x200)
+	b.Label("ds_hot")
+	for i := 0; i < 20; i++ {
+		b.Nop(1)
+	}
+	b.Nop(11)
+	b.Halt()
+	return b.MustBuild()
 }
 
 func buildBoundsCheck(l Layout) *asm.Program {
