@@ -340,6 +340,78 @@ func TestGoldenDsbSwitch(t *testing.T) {
 	}
 }
 
+// TestProfileFlagRejectsUnknown pins the -profile usage contract: an
+// unregistered profile name is a usage error naming the registry.
+func TestProfileFlagRejectsUnknown(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-profile", "nope"}, &out, &errb); code != 2 {
+		t.Errorf("unknown profile exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown profile") {
+		t.Errorf("unknown-profile error = %q", errb.String())
+	}
+	if !strings.Contains(errb.String(), "skylake") || !strings.Contains(errb.String(), "zen") {
+		t.Errorf("unknown-profile error does not list the registry: %q", errb.String())
+	}
+}
+
+// TestSelftestZen runs the capability-gated selftest under the Zen
+// profile and requires the JSON artifact to name the profile on every
+// report.
+func TestSelftestZen(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-selftest", "-json", "-profile", "zen"}, &out, &errb); code != 0 {
+		t.Fatalf("selftest -json -profile zen failed (%d): %s", code, errb.String())
+	}
+	var reports []struct {
+		Program string `json:"program"`
+		Profile string `json:"profile"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &reports); err != nil {
+		t.Fatalf("selftest -json output not JSON: %v", err)
+	}
+	if len(reports) == 0 {
+		t.Fatal("selftest -json emitted no reports")
+	}
+	for _, r := range reports {
+		if r.Profile != "zen" {
+			t.Errorf("%s: report profile %q, want zen", r.Program, r.Profile)
+		}
+	}
+}
+
+// TestGoldenJccAlignZen pins the alignment fixture under the Zen
+// profile: AMD's decoder prices no predecode straddle penalty, so the
+// jump-alignment finding present in the default golden must be absent
+// here — the microarchitectural fork the profile matrix exists to
+// surface — while the report carries the profile tag.
+func TestGoldenJccAlignZen(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", "-fixture", "jcc-align", "-profile", "zen"}, &out, &errb); code != 0 {
+		t.Fatalf("uoplint exited %d: %s", code, errb.String())
+	}
+	got := out.Bytes()
+	goldenCompare(t, "jcc-align.zen.json", got)
+
+	var pr struct {
+		Profile  string `json:"profile"`
+		Findings []struct {
+			Checker string `json:"checker"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal(got, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Profile != "zen" {
+		t.Errorf("report profile %q, want zen", pr.Profile)
+	}
+	for _, f := range pr.Findings {
+		if f.Checker == "secret-dependent-jump-alignment" {
+			t.Error("jump-alignment finding fired under the penalty-free zen decoder")
+		}
+	}
+}
+
 // TestCheckersFlag pins the -checkers selection: only the named
 // checkers run, and an unknown name is a usage error.
 func TestCheckersFlag(t *testing.T) {

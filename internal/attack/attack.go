@@ -32,22 +32,34 @@ type Geometry struct {
 	// FirstSet offsets the striping; a zebra uses a first set
 	// interleaved between its tiger's stripes (Fig 8).
 	FirstSet int
+	// CacheSets is the modelled cache's total set count the stripes
+	// spread across and the way stride derives from; 0 selects the
+	// classic 32-set layout, keeping every historical chain address
+	// byte-identical. The profile matrix sets it from the profile's
+	// geometry so a Zen 2 channel stripes all 64 sets.
+	CacheSets int
 }
 
 // DefaultGeometry returns the paper's best-bandwidth configuration.
 func DefaultGeometry() Geometry { return Geometry{NSets: 8, NWays: 6} }
 
 // TigerSets returns the set indices a tiger with this geometry touches.
-func (g Geometry) TigerSets() []int { return codegen.EvenSets(g.NSets, g.FirstSet) }
+func (g Geometry) TigerSets() []int {
+	return codegen.EvenSetsIn(g.CacheSets, g.NSets, g.FirstSet)
+}
 
 // ZebraSets returns set indices mutually exclusive with TigerSets:
 // shifted by half a stripe.
 func (g Geometry) ZebraSets() []int {
-	stride := 32 / g.NSets
+	total := g.CacheSets
+	if total <= 0 {
+		total = codegen.WayStride / codegen.RegionSize
+	}
+	stride := total / g.NSets
 	if stride == 0 {
 		stride = 1
 	}
-	return codegen.EvenSets(g.NSets, g.FirstSet+stride/2+stride%2)
+	return codegen.EvenSetsIn(g.CacheSets, g.NSets, g.FirstSet+stride/2+stride%2)
 }
 
 // Tiger returns the chain spec of a tiger at base with geometry g:
@@ -56,7 +68,9 @@ func (g Geometry) ZebraSets() []int {
 // tigers at different bases but equal geometry conflict; a tiger and
 // the zebra of the same geometry never do.
 func Tiger(base uint64, g Geometry, label string) *codegen.ChainSpec {
-	return codegen.ProbeChain(base, g.TigerSets(), g.NWays, label)
+	spec := codegen.ProbeChain(base, g.TigerSets(), g.NWays, label)
+	spec.NumSets = g.CacheSets
+	return spec
 }
 
 // FastTiger returns a tiger variant optimized for eviction throughput
@@ -65,14 +79,16 @@ func Tiger(base uint64, g Geometry, label string) *codegen.ChainSpec {
 // victim's window is open (used by the cross-SMT Trojan).
 func FastTiger(base uint64, g Geometry, label string) *codegen.ChainSpec {
 	return &codegen.ChainSpec{
-		Base: base, Sets: g.TigerSets(), Ways: g.NWays,
+		Base: base, Sets: g.TigerSets(), Ways: g.NWays, NumSets: g.CacheSets,
 		Label: label,
 	}
 }
 
 // Zebra returns the chain spec of the zebra companion at base.
 func Zebra(base uint64, g Geometry, label string) *codegen.ChainSpec {
-	return codegen.ProbeChain(base, g.ZebraSets(), g.NWays, label)
+	spec := codegen.ProbeChain(base, g.ZebraSets(), g.NWays, label)
+	spec.NumSets = g.CacheSets
+	return spec
 }
 
 // Routine is an assembled tiger or zebra, runnable on a CPU.

@@ -83,22 +83,44 @@ type ChainSpec struct {
 	// many single-byte NOPs, letting two chains with different JccOffset
 	// match each other's µop count and byte length exactly.
 	JccTailNops int
+	// NumSets is the number of sets in the target cache geometry; it
+	// fixes the chain's way stride at NumSets×RegionSize bytes. Zero
+	// means the classic 32-set layout (WayStride bytes), so existing
+	// chains keep their addresses; a 64-set (Zen 2-like) cache needs
+	// NumSets=64 for same-set regions to actually collide.
+	NumSets int
 	// Label prefixes the generated labels, letting several chains
 	// coexist in one builder.
 	Label string
 }
 
+// numSets returns the set count of the target geometry (32 when unset).
+func (s *ChainSpec) numSets() int {
+	if s.NumSets > 0 {
+		return s.NumSets
+	}
+	return WayStride / RegionSize
+}
+
+// wayStride returns the address distance between two same-set regions.
+func (s *ChainSpec) wayStride() uint64 {
+	return uint64(s.numSets()) * RegionSize
+}
+
 // Validate checks geometric feasibility: the region body plus a 2-byte
 // terminating jump must fit in RegionSize bytes.
 func (s *ChainSpec) Validate() error {
-	if s.Base%WayStride != 0 {
-		return fmt.Errorf("codegen: base %#x not %d-aligned", s.Base, WayStride)
+	if s.NumSets < 0 || (s.NumSets > 0 && s.NumSets&(s.NumSets-1) != 0) {
+		return fmt.Errorf("codegen: NumSets %d not a power of two", s.NumSets)
+	}
+	if s.Base%s.wayStride() != 0 {
+		return fmt.Errorf("codegen: base %#x not %d-aligned", s.Base, s.wayStride())
 	}
 	if s.Ways <= 0 || len(s.Sets) == 0 {
 		return fmt.Errorf("codegen: empty chain (%d ways, %d sets)", s.Ways, len(s.Sets))
 	}
 	for _, set := range s.Sets {
-		if set < 0 || set >= WayStride/RegionSize {
+		if set < 0 || set >= s.numSets() {
 			return fmt.Errorf("codegen: set %d out of range", set)
 		}
 	}
@@ -161,7 +183,7 @@ func (s *ChainSpec) BodyBytes() int { return s.regionBodyBytes() }
 // tail inside a probed set, and the tail's own line would then pollute
 // the very occupancy the probe measures.
 func (s *ChainSpec) TailAddr() uint64 {
-	nsets := WayStride / RegionSize
+	nsets := s.numSets()
 	tailSet := 0
 	if len(s.Sets) > 0 {
 		occupied := make(map[int]bool, len(s.Sets))
@@ -173,7 +195,7 @@ func (s *ChainSpec) TailAddr() uint64 {
 			tailSet = (tailSet + 1) % nsets
 		}
 	}
-	return s.Base + uint64(s.Ways+1)*WayStride + uint64(tailSet)*RegionSize
+	return s.Base + uint64(s.Ways+1)*s.wayStride() + uint64(tailSet)*RegionSize
 }
 
 // UopsPerRegion returns the micro-op count of each region (NOPs, the
@@ -195,7 +217,7 @@ func (s *ChainSpec) TotalUops() int { return s.Regions() * s.UopsPerRegion() }
 
 // RegionAddr returns the address of the region at (set, way).
 func (s *ChainSpec) RegionAddr(set, way int) uint64 {
-	return s.Base + uint64(way)*WayStride + uint64(set)*RegionSize
+	return s.Base + uint64(way)*s.wayStride() + uint64(set)*RegionSize
 }
 
 // region is one emission unit.
@@ -343,13 +365,20 @@ func minU64(a, b uint64) uint64 {
 	return b
 }
 
-// EvenSets returns n set indices evenly spaced across the 32 sets,
-// starting at first — the striped occupation of Fig 8.
-func EvenSets(n, first int) []int {
+// EvenSets returns n set indices evenly spaced across the classic 32
+// sets, starting at first — the striped occupation of Fig 8.
+func EvenSets(n, first int) []int { return EvenSetsIn(0, n, first) }
+
+// EvenSetsIn is EvenSets across a cache of total sets (0 selects the
+// classic 32-set layout) — the profile matrix stripes Zen 2's 64-set
+// cache through it.
+func EvenSetsIn(total, n, first int) []int {
 	if n <= 0 {
 		return nil
 	}
-	total := WayStride / RegionSize
+	if total <= 0 {
+		total = WayStride / RegionSize
+	}
 	stride := total / n
 	if stride == 0 {
 		stride = 1

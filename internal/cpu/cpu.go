@@ -13,11 +13,11 @@ import (
 	"deaduops/internal/asm"
 	"deaduops/internal/backend"
 	"deaduops/internal/bpu"
-	"deaduops/internal/decode"
 	"deaduops/internal/frontend"
 	"deaduops/internal/isa"
 	"deaduops/internal/mem"
 	"deaduops/internal/perfctr"
+	"deaduops/internal/profile"
 	"deaduops/internal/uopcache"
 )
 
@@ -78,13 +78,15 @@ type Config struct {
 	InvisibleSpeculation bool
 }
 
-// Intel returns the default Skylake/Coffee Lake-like configuration the
-// paper characterizes.
-func Intel() Config {
+// FromProfile assembles a core configuration for one registered
+// front-end profile: the profile owns the DSB geometry and decode
+// path, the core supplies everything frontend-agnostic (memory
+// hierarchy, backend, BPU, guest memory layout).
+func FromProfile(p profile.Profile) Config {
 	return Config{
-		UopCache:     uopcache.Skylake(),
+		UopCache:     p.UopCache,
+		Frontend:     p.Frontend(),
 		Hierarchy:    mem.DefaultHierarchy(),
-		Frontend:     frontend.DefaultConfig(),
 		Backend:      backend.DefaultConfig(),
 		BPU:          bpu.DefaultConfig(),
 		MemSize:      1 << 22,
@@ -94,31 +96,20 @@ func Intel() Config {
 	}
 }
 
+// Intel returns the default Skylake/Coffee Lake-like configuration the
+// paper characterizes.
+func Intel() Config { return FromProfile(profile.Skylake()) }
+
 // AMD returns an AMD Zen-like configuration: competitively shared
 // micro-op cache and 1:2 decoders.
-func AMD() Config {
-	c := Intel()
-	c.UopCache = uopcache.Zen()
-	fe := frontend.DefaultConfig()
-	fe.Decode = decode.Zen()
-	c.Frontend = fe
-	return c
-}
+func AMD() Config { return FromProfile(profile.Zen()) }
 
 // IntelSunnyCove returns the Intel configuration with the 1.5×-larger
 // Sunny Cove micro-op cache the paper mentions.
-func IntelSunnyCove() Config {
-	c := Intel()
-	c.UopCache = uopcache.SunnyCove()
-	return c
-}
+func IntelSunnyCove() Config { return FromProfile(profile.SunnyCove()) }
 
 // AMDZen2 returns the AMD configuration with the 4K-µop Zen-2 op cache.
-func AMDZen2() Config {
-	c := AMD()
-	c.UopCache = uopcache.Zen2()
-	return c
-}
+func AMDZen2() Config { return FromProfile(profile.Zen2()) }
 
 // Memory is the guest data memory: a flat little-endian byte image.
 // Out-of-image accesses read zero and drop writes (no faults are

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+
+	"deaduops/internal/profile"
 )
 
 // fast options keep the suite quick; the CLI uses larger values.
@@ -261,7 +263,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig3a", "fig3b", "fig4", "fig5", "fig6a", "fig6b",
 		"fig7a", "fig7b", "fig8", "fig9", "fig10", "table1", "table2",
 		"mitigations", "capacity", "invisispec", "leakpredict",
-		"probemodel", "alignchannel",
+		"probemodel", "alignchannel", "profilematrix",
 	}
 	for _, id := range want {
 		if _, ok := Registry[id]; !ok {
@@ -290,6 +292,74 @@ func TestAlignChannelTable(t *testing.T) {
 		if (taken[2] == "0") == (fall[2] == "0") {
 			t.Errorf("%s: straddling jccs %s/%s — exactly one direction must straddle",
 				taken[0], taken[2], fall[2])
+		}
+	}
+}
+
+// TestProfileMatrixTable pins the cross-microarchitecture table: one
+// row per registered profile, the no-DSB control showing zero refill
+// signal and the no-channel mark in every µop-cache-dependent column
+// while its alignment asymmetry (Skylake decode) survives, and the
+// zero-penalty AMD decoders showing no alignment channel while their
+// refill, switch, and covert-channel columns carry real signal.
+func TestProfileMatrixTable(t *testing.T) {
+	tab, err := ProfileMatrix(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(profile.All()); len(tab.Rows) != want {
+		t.Fatalf("got %d rows, want %d (one per profile)", len(tab.Rows), want)
+	}
+	byName := map[string][]string{}
+	for _, r := range tab.Rows {
+		byName[r[0]] = r
+	}
+	const (
+		colRefill = 2
+		colMargin = 4
+		colAlign  = 5
+		colSwitch = 6
+		colChan   = 7
+	)
+	mite, ok := byName["mite-only"]
+	if !ok {
+		t.Fatal("no mite-only control row")
+	}
+	if mite[colRefill] != "0c/0c" {
+		t.Errorf("mite-only refill column %q, want 0c/0c", mite[colRefill])
+	}
+	for _, col := range []int{colMargin, colSwitch, colChan} {
+		if mite[col] != NoChannelMark {
+			t.Errorf("mite-only column %d is %q, want %q", col, mite[col], NoChannelMark)
+		}
+	}
+	if mite[colAlign] == NoChannelMark || mite[colAlign] == "+0c" {
+		t.Errorf("mite-only alignment column %q — the decode-side channel must survive", mite[colAlign])
+	}
+	for _, name := range []string{"zen", "zen2"} {
+		row, ok := byName[name]
+		if !ok {
+			t.Fatalf("no %s row", name)
+		}
+		if row[colAlign] != NoChannelMark {
+			t.Errorf("%s alignment column %q, want %q (penalty-free decoder)", name, row[colAlign], NoChannelMark)
+		}
+		for _, col := range []int{colMargin, colSwitch, colChan} {
+			if row[col] == NoChannelMark {
+				t.Errorf("%s column %d shows no channel on a DSB profile", name, col)
+			}
+		}
+		if row[colRefill] == "0c/0c" {
+			t.Errorf("%s refill column shows no signal", name)
+		}
+	}
+	sky, ok := byName["skylake"]
+	if !ok {
+		t.Fatal("no skylake row")
+	}
+	for col := colMargin; col <= colChan; col++ {
+		if sky[col] == NoChannelMark {
+			t.Errorf("skylake column %d shows no channel", col)
 		}
 	}
 }

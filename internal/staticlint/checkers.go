@@ -213,6 +213,12 @@ func (FootprintDivergenceChecker) Name() string { return "dsb-footprint-divergen
 
 // Check implements Checker.
 func (c FootprintDivergenceChecker) Check(a *Analysis) []Finding {
+	// With the DSB disabled every region is MITE-delivered on both
+	// paths — there is no set occupancy for an attacker to probe, so
+	// the channel this checker prices vanishes by construction.
+	if a.Cfg.UopCache.Disabled {
+		return nil
+	}
 	var out []Finding
 	for _, sb := range a.secretBranches() {
 		if sb.inst.Op != isa.JCC {

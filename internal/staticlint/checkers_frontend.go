@@ -84,6 +84,12 @@ func (SwitchPointChecker) Name() string { return "dsb-mite-switch" }
 // Check implements Checker.
 func (c SwitchPointChecker) Check(a *Analysis) []Finding {
 	var out []Finding
+	// With the DSB disabled the machine never leaves legacy decode —
+	// there are no DSB→MITE transitions for the counts to diverge on,
+	// so the channel this checker prices does not exist.
+	if a.Cfg.UopCache.Disabled {
+		return out
+	}
 	bubble := 1 + a.Cfg.Costs().SwitchPenalty()
 	for _, sb := range a.secretBranches() {
 		if sb.inst.Op != isa.JCC {

@@ -5,6 +5,7 @@ import (
 
 	"deaduops/internal/backend"
 	"deaduops/internal/frontend"
+	"deaduops/internal/profile"
 	"deaduops/internal/uopcache"
 )
 
@@ -40,6 +41,68 @@ func TestCostTableSharedWithFrontend(t *testing.T) {
 	}
 	if lint.DrainLag != DefaultDrainLag {
 		t.Errorf("drain lag %d, want %d", lint.DrainLag, DefaultDrainLag)
+	}
+}
+
+// TestCostTableSharedPerProfile extends the one-source-of-truth
+// contract across the whole profile matrix: for EVERY registered
+// profile, the table ConfigForProfile prices with must equal the table
+// the profile's own fetch engine would charge — so a future geometry
+// edit to one profile cannot silently desync analyzer and simulator.
+func TestCostTableSharedPerProfile(t *testing.T) {
+	for _, p := range profile.All() {
+		cfg := ConfigForProfile(p)
+		lint := cfg.Costs()
+		fe := p.Frontend().Costs(p.UopCache)
+
+		if lint.Decode != fe.Decode {
+			t.Errorf("%s: decode configs diverge: lint %+v, frontend %+v", p.Name, lint.Decode, fe.Decode)
+		}
+		if lint.Cache != fe.Cache {
+			t.Errorf("%s: cache configs diverge: lint %+v, frontend %+v", p.Name, lint.Cache, fe.Cache)
+		}
+		if lint.SwitchPenalty() != fe.SwitchPenalty() {
+			t.Errorf("%s: switch penalty diverges: lint %d, frontend %d",
+				p.Name, lint.SwitchPenalty(), fe.SwitchPenalty())
+		}
+		if lint.StreamWidth() != fe.StreamWidth() {
+			t.Errorf("%s: stream width diverges: lint %d, frontend %d",
+				p.Name, lint.StreamWidth(), fe.StreamWidth())
+		}
+		if want := backend.DefaultConfig().DispatchWidth; lint.DrainWidth != want {
+			t.Errorf("%s: drain width %d, want backend dispatch width %d", p.Name, lint.DrainWidth, want)
+		}
+		if lint.DrainLag != DefaultDrainLag || lint.RunOverhead != DefaultRunOverhead {
+			t.Errorf("%s: drain lag %d / run overhead %d, want %d / %d",
+				p.Name, lint.DrainLag, lint.RunOverhead, DefaultDrainLag, DefaultRunOverhead)
+		}
+
+		// The analyzer's config must be built from the same profile
+		// halves the simulator's core assembly consumes.
+		if cfg.UopCache != p.UopCache {
+			t.Errorf("%s: staticlint uopcache config %+v != profile %+v", p.Name, cfg.UopCache, p.UopCache)
+		}
+		if cfg.Decode != p.Decode {
+			t.Errorf("%s: staticlint decode config %+v != profile %+v", p.Name, cfg.Decode, p.Decode)
+		}
+	}
+}
+
+// TestDefaultConfigIsDefaultProfile pins the compatibility contract
+// behind every existing golden: the un-parameterized DefaultConfig is
+// exactly the default profile's configuration.
+func TestDefaultConfigIsDefaultProfile(t *testing.T) {
+	def := DefaultConfig()
+	sky := ConfigForProfile(profile.Default())
+	if def.UopCache != sky.UopCache || def.Decode != sky.Decode ||
+		def.PathBudget != sky.PathBudget || def.DrainWidth != sky.DrainWidth ||
+		def.DrainLag != sky.DrainLag || def.RunOverhead != sky.RunOverhead ||
+		def.GadgetWindow != sky.GadgetWindow || def.ProbeIters != sky.ProbeIters ||
+		def.PrimeTraversals != sky.PrimeTraversals || def.VictimRuns != sky.VictimRuns {
+		t.Errorf("DefaultConfig %+v != ConfigForProfile(default) %+v", def, sky)
+	}
+	if profile.Default().Name != "skylake" {
+		t.Errorf("default profile is %q, want skylake", profile.Default().Name)
 	}
 }
 

@@ -200,21 +200,12 @@ func Spec() staticlint.Spec {
 	}
 }
 
-// Config returns the analysis configuration the harness lints with:
-// the default Skylake model with a path budget covering the largest
-// generated chain.
+// Config returns the analysis configuration the default (Skylake)
+// harness lints with. Profile-parameterized callers use
+// NewHarness(p).Config() instead.
 func Config() staticlint.Config {
-	cfg := staticlint.DefaultConfig()
-	cfg.PathBudget = 512
-	return cfg
+	return DefaultHarness().Config()
 }
-
-// Cache geometry the generator respects, read off the lint
-// configuration so the two cannot drift.
-var (
-	cacheWays    = Config().UopCache.Ways
-	slotsPerLine = Config().UopCache.SlotsPerLine
-)
 
 // rng is splitmix64, the same deterministic generator internal/ref
 // uses, so fuzz corpus seeds reproduce exactly.
@@ -259,19 +250,19 @@ func pickSets(r *rng, n, lo, hi, first int) []int {
 // ways — otherwise a trace stays partially filled forever (Fill cannot
 // evict the hot resident lines of the set's other regions mid-fill)
 // and the warm run would be MITE-contaminated.
-func chainShape(r *rng, base uint64, lo, hi, first int, label string) codegen.ChainSpec {
-	s := codegen.ChainSpec{Base: base, Label: label}
+func (h *Harness) chainShape(r *rng, base uint64, lo, hi, first int, label string) codegen.ChainSpec {
+	s := codegen.ChainSpec{Base: base, Label: label, NumSets: h.numSets}
 	var lines int // DSB lines one region's trace occupies
 	switch r.intn(3) {
 	case 0: // plain NOPs
 		s.NopPerRegion = r.intn(14) // 0..13, ≤14 µops/region (3 lines)
 		s.NopLen = nopLen(r, s.NopPerRegion, codegen.RegionSize-2)
-		lines = ceilDiv(s.NopPerRegion+1, slotsPerLine)
+		lines = ceilDiv(s.NopPerRegion+1, h.slotsPerLine)
 	case 1: // LCP NOPs: predecoder stall per macro-op
 		s.NopPerRegion = r.intn(14)
 		s.NopLen = nopLen(r, s.NopPerRegion, codegen.RegionSize-2)
 		s.LCP = s.NopPerRegion > 0
-		lines = ceilDiv(s.NopPerRegion+1, slotsPerLine)
+		lines = ceilDiv(s.NopPerRegion+1, h.slotsPerLine)
 	case 2: // MSROM macro-op: whole-line trace, sequencer-fed decode
 		s.NopPerRegion = r.intn(7) // 0..6 keeps the region ≤ 3 lines
 		s.NopLen = nopLen(r, s.NopPerRegion, codegen.RegionSize-2-3)
@@ -282,7 +273,7 @@ func chainShape(r *rng, base uint64, lo, hi, first int, label string) codegen.Ch
 		}
 	}
 	nSets := 1 + r.intn(3)
-	maxWays := cacheWays / lines
+	maxWays := h.cacheWays / lines
 	if maxWays > 3 {
 		maxWays = 3
 	}
@@ -319,11 +310,12 @@ func nopLen(r *rng, count, budget int) int {
 // than MaxLinesPerRegion lines can hold — the placement rules reject
 // the trace, so the region is MITE-delivered on every fetch and never
 // appears in the cache footprint.
-func uncChainShape(r *rng, base uint64, lo, hi int, label string) codegen.ChainSpec {
-	s := codegen.ChainSpec{Base: base, Label: label}
-	// 20..30 µops per region against the Skylake limit of
-	// MaxLinesPerRegion × SlotsPerLine = 18.
-	s.NopPerRegion = 19 + r.intn(11)
+func (h *Harness) uncChainShape(r *rng, base uint64, lo, hi int, label string) codegen.ChainSpec {
+	s := codegen.ChainSpec{Base: base, Label: label, NumSets: h.numSets}
+	// One µop past the profile's cacheability cap up to the 30-NOP
+	// region budget (20..30 against Skylake's 18-µop limit — the
+	// historical 19 + intn(11) draw).
+	s.NopPerRegion = h.uncLo + r.intn(h.uncSpan)
 	s.NopLen = 1
 	s.Sets = pickSets(r, 1+r.intn(2), lo, hi, -1)
 	s.Ways = 1
@@ -334,9 +326,9 @@ func uncChainShape(r *rng, base uint64, lo, hi int, label string) codegen.ChainS
 // uncacheable regions (one way each), so a warm traversal of the taken
 // direction pays that many DSB→MITE switch bubbles more than the
 // fall-through — the switch-point-count asymmetry under test.
-func switchTailShape(r *rng, base uint64, lo, hi int, label string) codegen.ChainSpec {
-	s := codegen.ChainSpec{Base: base, Label: label}
-	s.NopPerRegion = 19 + r.intn(11)
+func (h *Harness) switchTailShape(r *rng, base uint64, lo, hi int, label string) codegen.ChainSpec {
+	s := codegen.ChainSpec{Base: base, Label: label, NumSets: h.numSets}
+	s.NopPerRegion = h.uncLo + r.intn(h.uncSpan)
 	s.NopLen = 1
 	s.Sets = pickSets(r, 2+r.intn(3), lo, hi, -1)
 	s.Ways = 1
@@ -352,8 +344,8 @@ func switchTailShape(r *rng, base uint64, lo, hi int, label string) codegen.Chai
 // NOP padding is drawn from the divisors of the pad span, and the tail
 // NOP count varies region µops — so the corpus covers µop-matched and
 // µop-skewed direction pairs alike.
-func alignChainShape(r *rng, base uint64, lo, hi, first int, label string, straddle bool) codegen.ChainSpec {
-	s := codegen.ChainSpec{Base: base, Label: label}
+func (h *Harness) alignChainShape(r *rng, base uint64, lo, hi, first int, label string, straddle bool) codegen.ChainSpec {
+	s := codegen.ChainSpec{Base: base, Label: label, NumSets: h.numSets}
 	if straddle {
 		s.JccOffset = 15
 	} else {
@@ -369,9 +361,9 @@ func alignChainShape(r *rng, base uint64, lo, hi, first int, label string, strad
 	s.NopLen = divs[r.intn(len(divs))]
 	s.NopPerRegion = pad / s.NopLen
 	s.JccTailNops = r.intn(4)
-	lines := ceilDiv(s.UopsPerRegion(), slotsPerLine)
+	lines := ceilDiv(s.UopsPerRegion(), h.slotsPerLine)
 	nSets := 1 + r.intn(3)
-	maxWays := cacheWays / lines
+	maxWays := h.cacheWays / lines
 	if maxWays > 3 {
 		maxWays = 3
 	}
@@ -392,8 +384,8 @@ func alignChainShape(r *rng, base uint64, lo, hi, first int, label string, strad
 // or two regions in sets 30/31 (untouched by either direction's set
 // pool), one way, plain short NOPs — a tail both directions fetch, so
 // only the per-direction prefix of the footprint diverges.
-func suffixShape(r *rng) codegen.ChainSpec {
-	s := codegen.ChainSpec{Base: suffixBase, Label: "suffix"}
+func (h *Harness) suffixShape(r *rng) codegen.ChainSpec {
+	s := codegen.ChainSpec{Base: suffixBase, Label: "suffix", NumSets: h.numSets}
 	s.Sets = []int{30}
 	if r.intn(2) == 1 {
 		s.Sets = []int{30, 31}
@@ -414,10 +406,14 @@ func suffixShape(r *rng) codegen.ChainSpec {
 // 32-byte boundary (so both directions share its trace), the fall
 // chain's first region is the one fetch streams into past the branch,
 // and the two directions' chain set pools are disjoint.
-func Generate(seed uint64) (*Victim, error) {
+func Generate(seed uint64) (*Victim, error) { return DefaultHarness().Generate(seed) }
+
+// Generate builds the victim for seed under the harness's profile; see
+// the package-level Generate for the generation contract.
+func (h *Harness) Generate(seed uint64) (*Victim, error) {
 	r := rng{x: seed}
 	shape := Shape(r.intn(numRandomShapes))
-	return generate(seed, shape, &r)
+	return h.generate(seed, shape, &r)
 }
 
 // GenerateShape builds a victim of an explicitly chosen shape for
@@ -427,14 +423,20 @@ func Generate(seed uint64) (*Victim, error) {
 // the stream differs from Generate's (no draw is consumed), so the two
 // entry points yield different victims for the same seed.
 func GenerateShape(seed uint64, shape Shape) (*Victim, error) {
+	return DefaultHarness().GenerateShape(seed, shape)
+}
+
+// GenerateShape builds a victim of an explicitly chosen shape for seed
+// under the harness's profile.
+func (h *Harness) GenerateShape(seed uint64, shape Shape) (*Victim, error) {
 	if shape < 0 || shape > ShapeIndirect {
 		return nil, fmt.Errorf("difftest: unknown shape %d", int(shape))
 	}
 	r := rng{x: seed}
-	return generate(seed, shape, &r)
+	return h.generate(seed, shape, &r)
 }
 
-func generate(seed uint64, shape Shape, rp *rng) (*Victim, error) {
+func (h *Harness) generate(seed uint64, shape Shape, rp *rng) (*Victim, error) {
 	r := *rp
 	v := &Victim{Seed: seed, Shape: shape}
 	b := asm.New(entryBase)
@@ -456,8 +458,8 @@ func generate(seed uint64, shape Shape, rp *rng) (*Victim, error) {
 		if shape == ShapeSharedSuffix {
 			takenHi = 29
 		}
-		v.Fall = chainShape(&r, entryBase, fallLo, 15, fallFirst, "fall")
-		v.Taken = chainShape(&r, takenBase, 16, takenHi, -1, "taken")
+		v.Fall = h.chainShape(&r, entryBase, fallLo, 15, fallFirst, "fall")
+		v.Taken = h.chainShape(&r, takenBase, 16, takenHi, -1, "taken")
 		b.Xor(isa.R1, isa.R1)                      // 3 bytes; zeroing idiom the const-prop resolves
 		b.Loadb(isa.R2, isa.R1, int64(SecretAddr)) // 4 bytes; the secret read
 		b.Cmpi(isa.R2, 0)                          // 4 bytes
@@ -493,8 +495,8 @@ func generate(seed uint64, shape Shape, rp *rng) (*Victim, error) {
 		if shape == ShapeCalleeSpill {
 			fallFirst = spillPreambleRegions + 1
 		}
-		v.Fall = chainShape(&r, calleeBase, fallFirst+1, 15, fallFirst, "fall")
-		v.Taken = chainShape(&r, takenBase, 16, 31, -1, "taken")
+		v.Fall = h.chainShape(&r, calleeBase, fallFirst+1, 15, fallFirst, "fall")
+		v.Taken = h.chainShape(&r, takenBase, 16, 31, -1, "taken")
 		b.Xor(isa.R1, isa.R1)                      // 3 bytes
 		b.Loadb(isa.R2, isa.R1, int64(SecretAddr)) // 4 bytes
 		if shape == ShapeCalleeReg {
@@ -536,8 +538,8 @@ func generate(seed uint64, shape Shape, rp *rng) (*Victim, error) {
 		// drawn per seed, so the corpus exercises both signs of the
 		// alignment delta.
 		straddleTaken := r.intn(2) == 1
-		v.Fall = alignChainShape(&r, entryBase, 2, 15, 1, "fall", !straddleTaken)
-		v.Taken = alignChainShape(&r, takenBase, 16, 31, -1, "taken", straddleTaken)
+		v.Fall = h.alignChainShape(&r, entryBase, 2, 15, 1, "fall", !straddleTaken)
+		v.Taken = h.alignChainShape(&r, takenBase, 16, 31, -1, "taken", straddleTaken)
 		b.Xor(isa.R1, isa.R1)                      // 3 bytes
 		b.Loadb(isa.R2, isa.R1, int64(SecretAddr)) // 4 bytes
 		b.Cmpi(isa.R2, 0)                          // 4 bytes
@@ -550,8 +552,8 @@ func generate(seed uint64, shape Shape, rp *rng) (*Victim, error) {
 		// register; the secret branch sits in the region the call
 		// returns to, so its flags taint reaches the analysis only via
 		// the interprocedural havoc fallback at the unresolved call.
-		v.Fall = chainShape(&r, entryBase, 3, 15, 2, "fall")
-		v.Taken = chainShape(&r, takenBase, 16, 31, -1, "taken")
+		v.Fall = h.chainShape(&r, entryBase, 3, 15, 2, "fall")
+		v.Taken = h.chainShape(&r, takenBase, 16, 31, -1, "taken")
 		b.Xor(isa.R1, isa.R1)                      // 3 bytes
 		b.Loadb(isa.R2, isa.R1, int64(SecretAddr)) // 4 bytes
 		b.Movi(isa.R3, int64(helperBase))          // 5 bytes; resolved target, clean taint
@@ -568,7 +570,7 @@ func generate(seed uint64, shape Shape, rp *rng) (*Victim, error) {
 	}
 	exitLabel := "exit"
 	if shape == ShapeSharedSuffix {
-		s := suffixShape(&r)
+		s := h.suffixShape(&r)
 		v.Suffix = &s
 		exitLabel = s.EntryLabel()
 	}
@@ -576,8 +578,8 @@ func generate(seed uint64, shape Shape, rp *rng) (*Victim, error) {
 	if shape == ShapeUncacheable {
 		// Each direction's cacheable chain drains into its own
 		// uncacheable tail before the shared exit.
-		fu := uncChainShape(&r, uncFallBase, 2, 15, "fallunc")
-		tu := uncChainShape(&r, uncTakenBase, 16, 31, "takenunc")
+		fu := h.uncChainShape(&r, uncFallBase, 2, 15, "fallunc")
+		tu := h.uncChainShape(&r, uncTakenBase, 16, 31, "takenunc")
 		v.FallUnc, v.TakenUnc = &fu, &tu
 		fallExit, takenExit = fu.EntryLabel(), tu.EntryLabel()
 	}
@@ -585,7 +587,7 @@ func generate(seed uint64, shape Shape, rp *rng) (*Victim, error) {
 		// Only the taken direction drains into an uncacheable tail: its
 		// warm traversal pays one DSB→MITE switch per tail region, the
 		// fall-through pays none.
-		tu := switchTailShape(&r, uncTakenBase, 16, 31, "takenunc")
+		tu := h.switchTailShape(&r, uncTakenBase, 16, 31, "takenunc")
 		v.TakenUnc = &tu
 		takenExit = tu.EntryLabel()
 	}
@@ -666,8 +668,16 @@ type Prediction struct {
 // the delivery/drain race is replayed cycle for cycle, and the run
 // start/stop overhead lands on both sides — exactly as the measurement
 // side pays them.
-func Predict(v *Victim) (Prediction, error) {
-	a := staticlint.Analyze(v.Prog, Spec(), Config())
+func Predict(v *Victim) (Prediction, error) { return DefaultHarness().Predict(v) }
+
+// Predict is the harness-bound predictor; see the package-level
+// Predict. Under a profile without a DSB the divergence finding is
+// required to be ABSENT — there is no probe-visible footprint to
+// diverge — and the per-direction costs are priced without it, so the
+// mite-only contract (zero refill deltas on both paths) stays
+// checkable end to end.
+func (h *Harness) Predict(v *Victim) (Prediction, error) {
+	a := staticlint.Analyze(v.Prog, Spec(), h.cfg)
 	var found *staticlint.Finding
 	for _, f := range (staticlint.FootprintDivergenceChecker{}).Check(a) {
 		if f.Addr == v.Branch {
@@ -676,10 +686,15 @@ func Predict(v *Victim) (Prediction, error) {
 			break
 		}
 	}
-	if found == nil {
+	if !h.Profile.HasDSB() {
+		if found != nil {
+			return Prediction{}, fmt.Errorf("difftest seed %d: divergence finding at branch %#x under the no-DSB profile %s",
+				v.Seed, v.Branch, h.Profile.Name)
+		}
+		found = &staticlint.Finding{}
+	} else if found == nil {
 		return Prediction{}, fmt.Errorf("difftest seed %d: no divergence finding at branch %#x", v.Seed, v.Branch)
-	}
-	if found.TakenCost == nil || found.FallCost == nil {
+	} else if found.TakenCost == nil || found.FallCost == nil {
 		return Prediction{}, fmt.Errorf("difftest seed %d: finding carries no path costs", v.Seed)
 	}
 	branch := v.Prog.At(v.Branch)
@@ -726,7 +741,13 @@ func MeasureDirection(v *Victim, secret int64) (int, error) {
 // memory from arena (which may be nil) — the sweep runners thread one
 // arena per worker through it.
 func MeasureDirectionWith(v *Victim, secret int64, a *cpu.Arena) (int, error) {
-	c := cpu.NewWith(cpu.Intel(), a)
+	return DefaultHarness().MeasureDirectionWith(v, secret, a)
+}
+
+// MeasureDirectionWith measures one direction's refill delta on a core
+// assembled for the harness's profile.
+func (h *Harness) MeasureDirectionWith(v *Victim, secret int64, a *cpu.Arena) (int, error) {
+	c := cpu.NewWith(h.cpuCfg, a)
 	c.LoadProgram(v.Prog)
 	c.Mem().Write(SecretAddr, 1, secret)
 	run := func(tag string) (cpu.RunResult, error) {
@@ -760,7 +781,13 @@ func MeasureDirectionWith(v *Victim, secret int64, a *cpu.Arena) (int, error) {
 // Unlike the cycle deltas these are exact counter reads, so the
 // validation contract is equality, not a tolerance band.
 func MeasureSwitches(v *Victim, secret int64, a *cpu.Arena) (warm, cold int, err error) {
-	c := cpu.NewWith(cpu.Intel(), a)
+	return DefaultHarness().MeasureSwitches(v, secret, a)
+}
+
+// MeasureSwitches measures the per-run DSB→MITE switch counters on a
+// core assembled for the harness's profile.
+func (h *Harness) MeasureSwitches(v *Victim, secret int64, a *cpu.Arena) (warm, cold int, err error) {
+	c := cpu.NewWith(h.cpuCfg, a)
 	c.LoadProgram(v.Prog)
 	c.Mem().Write(SecretAddr, 1, secret)
 	for i := 0; i < trainRuns; i++ {
@@ -791,6 +818,11 @@ type Result struct {
 	// costs including align-stall and switch-point breakouts — for the
 	// per-shape validation the cycle deltas alone cannot express.
 	Prediction *Prediction
+	// Profile names the front-end profile the result was produced
+	// under; NoDSB marks the no-DSB control contract (all four deltas
+	// exactly zero) instead of the positive-±Tolerance one.
+	Profile string
+	NoDSB   bool
 }
 
 // Run generates, predicts, and measures one seed.
@@ -799,11 +831,17 @@ func Run(seed uint64) (Result, error) { return RunWith(seed, nil) }
 // RunWith is Run reusing arena (which may be nil) for each direction's
 // simulated core.
 func RunWith(seed uint64, a *cpu.Arena) (Result, error) {
-	v, err := Generate(seed)
+	return DefaultHarness().RunWith(seed, a)
+}
+
+// RunWith generates, predicts, and measures one seed under the
+// harness's profile, reusing arena (which may be nil).
+func (h *Harness) RunWith(seed uint64, a *cpu.Arena) (Result, error) {
+	v, err := h.Generate(seed)
 	if err != nil {
 		return Result{}, err
 	}
-	return runVictim(v, a)
+	return h.runVictim(v, a)
 }
 
 // RunShape is Run with the victim shape pinned (via GenerateShape)
@@ -814,23 +852,28 @@ func RunShape(seed uint64, shape Shape) (Result, error) {
 
 // RunShapeWith is RunShape reusing arena for each direction's core.
 func RunShapeWith(seed uint64, shape Shape, a *cpu.Arena) (Result, error) {
-	v, err := GenerateShape(seed, shape)
-	if err != nil {
-		return Result{}, err
-	}
-	return runVictim(v, a)
+	return DefaultHarness().RunShapeWith(seed, shape, a)
 }
 
-func runVictim(v *Victim, a *cpu.Arena) (Result, error) {
-	p, err := Predict(v)
+// RunShapeWith is RunWith with the victim shape pinned.
+func (h *Harness) RunShapeWith(seed uint64, shape Shape, a *cpu.Arena) (Result, error) {
+	v, err := h.GenerateShape(seed, shape)
 	if err != nil {
 		return Result{}, err
 	}
-	mt, err := MeasureDirectionWith(v, 1, a)
+	return h.runVictim(v, a)
+}
+
+func (h *Harness) runVictim(v *Victim, a *cpu.Arena) (Result, error) {
+	p, err := h.Predict(v)
 	if err != nil {
 		return Result{}, err
 	}
-	mf, err := MeasureDirectionWith(v, 0, a)
+	mt, err := h.MeasureDirectionWith(v, 1, a)
+	if err != nil {
+		return Result{}, err
+	}
+	mf, err := h.MeasureDirectionWith(v, 0, a)
 	if err != nil {
 		return Result{}, err
 	}
@@ -842,14 +885,25 @@ func runVictim(v *Victim, a *cpu.Arena) (Result, error) {
 		MeasFall:   mf,
 		Victim:     v,
 		Prediction: &p,
+		Profile:    h.Profile.Name,
+		NoDSB:      !h.Profile.HasDSB(),
 	}, nil
 }
 
 // Validate applies the acceptance contract to one result: each
 // direction's predicted delta positive, within Tolerance of the
 // measured delta, and the cross-direction asymmetry pointing the same
-// way in prediction and measurement.
+// way in prediction and measurement. Under a no-DSB profile the
+// contract inverts: with nothing to flush, every delta — predicted and
+// measured, both directions — must be exactly zero.
 func (r Result) Validate() error {
+	if r.NoDSB {
+		if r.PredTaken != 0 || r.PredFall != 0 || r.MeasTaken != 0 || r.MeasFall != 0 {
+			return fmt.Errorf("seed %d (%s): no-DSB profile leaked a refill delta: pred %d/%d, meas %d/%d\nvictim: %s",
+				r.Seed, r.Profile, r.PredTaken, r.PredFall, r.MeasTaken, r.MeasFall, r.Describe())
+		}
+		return nil
+	}
 	check := func(dir string, pred, meas int) error {
 		if meas <= 0 {
 			return fmt.Errorf("seed %d %s: measured delta %d not positive (flush had no cost?)", r.Seed, dir, meas)

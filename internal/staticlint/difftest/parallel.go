@@ -17,10 +17,16 @@ import (
 // workers pool goroutines (0 selects GOMAXPROCS), one reusable
 // simulator arena per worker. Results are seed-ordered.
 func RunMany(seeds []uint64, workers int) ([]Result, error) {
+	return DefaultHarness().RunMany(seeds, workers)
+}
+
+// RunMany is the harness-bound corpus runner; see the package-level
+// RunMany.
+func (h *Harness) RunMany(seeds []uint64, workers int) ([]Result, error) {
 	return parsweep.MapArena(parsweep.Options{Workers: workers}, len(seeds),
 		func() *cpu.Arena { return new(cpu.Arena) },
 		func(a *cpu.Arena, i int) (Result, error) {
-			return RunWith(seeds[i], a)
+			return h.RunWith(seeds[i], a)
 		})
 }
 
@@ -28,10 +34,16 @@ func RunMany(seeds []uint64, workers int) ([]Result, error) {
 // the victim shape pinned (RunShape) across workers pool goroutines,
 // one arena per worker. Results are seed-ordered.
 func RunShapeMany(seeds []uint64, workers int, shape Shape) ([]Result, error) {
+	return DefaultHarness().RunShapeMany(seeds, workers, shape)
+}
+
+// RunShapeMany is the harness-bound shape-corpus runner; see the
+// package-level RunShapeMany.
+func (h *Harness) RunShapeMany(seeds []uint64, workers int, shape Shape) ([]Result, error) {
 	return parsweep.MapArena(parsweep.Options{Workers: workers}, len(seeds),
 		func() *cpu.Arena { return new(cpu.Arena) },
 		func(a *cpu.Arena, i int) (Result, error) {
-			return RunShapeWith(seeds[i], shape, a)
+			return h.RunShapeWith(seeds[i], shape, a)
 		})
 }
 
@@ -39,10 +51,16 @@ func RunShapeMany(seeds []uint64, workers int, shape Shape) ([]Result, error) {
 // (RunProbe) across workers pool goroutines, one arena per worker.
 // Results are seed-ordered.
 func RunProbeMany(seeds []uint64, workers int) ([]ProbeResult, error) {
+	return DefaultHarness().RunProbeMany(seeds, workers)
+}
+
+// RunProbeMany is the harness-bound probe-corpus runner; see the
+// package-level RunProbeMany.
+func (h *Harness) RunProbeMany(seeds []uint64, workers int) ([]ProbeResult, error) {
 	return parsweep.MapArena(parsweep.Options{Workers: workers}, len(seeds),
 		func() *cpu.Arena { return new(cpu.Arena) },
 		func(a *cpu.Arena, i int) (ProbeResult, error) {
-			return RunProbeWith(seeds[i], a)
+			return h.RunProbeWith(seeds[i], a)
 		})
 }
 

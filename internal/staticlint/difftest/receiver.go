@@ -51,19 +51,30 @@ func RunProbe(seed uint64) (ProbeResult, error) { return RunProbeWith(seed, nil)
 // RunProbeWith is RunProbe reusing arena (which may be nil) for each
 // direction's simulated core.
 func RunProbeWith(seed uint64, arena *cpu.Arena) (ProbeResult, error) {
-	v, err := Generate(seed)
+	return DefaultHarness().RunProbeWith(seed, arena)
+}
+
+// RunProbeWith is the harness-bound attacker-side runner; see the
+// package-level RunProbe. The prime+probe protocol has no meaning
+// without a DSB to contend in, so a no-DSB harness refuses outright —
+// the matrix tests assert that refusal rather than skipping silently.
+func (h *Harness) RunProbeWith(seed uint64, arena *cpu.Arena) (ProbeResult, error) {
+	if !h.Profile.HasDSB() {
+		return ProbeResult{}, fmt.Errorf("difftest seed %d: profile %s has no DSB to probe", seed, h.Profile.Name)
+	}
+	v, err := h.Generate(seed)
 	if err != nil {
 		return ProbeResult{}, err
 	}
-	p, err := Predict(v)
+	p, err := h.Predict(v)
 	if err != nil {
 		return ProbeResult{}, err
 	}
-	h := p.Finding.Probe
-	if h == nil {
+	hist := p.Finding.Probe
+	if hist == nil {
 		return ProbeResult{}, fmt.Errorf("difftest seed %d: finding carries no probe histogram", seed)
 	}
-	cfg := Config()
+	cfg := h.Config()
 	recv, err := attack.Build(staticlint.ReceiverSpec(cfg, p.Finding.DivergentSets))
 	if err != nil {
 		return ProbeResult{}, fmt.Errorf("difftest seed %d: %w", seed, err)
@@ -74,7 +85,7 @@ func RunProbeWith(seed uint64, arena *cpu.Arena) (ProbeResult, error) {
 	}
 
 	measure := func(secret int64) (hit, miss int, err error) {
-		c := cpu.NewWith(cpu.Intel(), arena)
+		c := cpu.NewWith(h.cpuCfg, arena)
 		c.LoadProgram(merged)
 		c.Mem().Write(SecretAddr, 1, secret)
 		victim := func(tag string) error {
@@ -113,7 +124,7 @@ func RunProbeWith(seed uint64, arena *cpu.Arena) (ProbeResult, error) {
 	}
 	return ProbeResult{
 		Seed:         seed,
-		Pred:         h,
+		Pred:         hist,
 		MeasHitTaken: ht,
 		MeasHitFall:  hf,
 		MeasTaken:    mt,

@@ -97,7 +97,12 @@ const (
 // measured receiver from this same spec, so the routine the model
 // prices and the routine the simulator times cannot drift apart.
 func ReceiverSpec(cfg Config, sets []int) *codegen.ChainSpec {
-	return codegen.ProbeChain(ReceiverBase, sets, cfg.UopCache.Ways, "probe")
+	spec := codegen.ProbeChain(ReceiverBase, sets, cfg.UopCache.Ways, "probe")
+	// The probe chain must honour the profile's set count: on a 64-set
+	// (Zen 2-like) geometry the classic 1 KiB way stride would alias
+	// way k of set s into set s+32 instead of conflicting.
+	spec.NumSets = cfg.UopCache.Sets
+	return spec
 }
 
 // ProbeBin is one predicted probe-time distribution of the receiver —

@@ -41,6 +41,7 @@ import (
 	"deaduops/internal/asm"
 	"deaduops/internal/backend"
 	"deaduops/internal/decode"
+	"deaduops/internal/profile"
 	"deaduops/internal/uopcache"
 )
 
@@ -105,12 +106,22 @@ const DefaultDrainLag = 6
 // harness across every victim shape.
 const DefaultRunOverhead = 3
 
-// DefaultConfig returns the Skylake-modelled analysis configuration.
+// DefaultConfig returns the analysis configuration for the default
+// registered profile (Skylake).
 func DefaultConfig() Config {
+	return ConfigForProfile(profile.Default())
+}
+
+// ConfigForProfile returns the analysis configuration for one
+// registered front-end profile: the profile supplies the micro-op
+// cache geometry and decode semantics, the analyzer supplies its own
+// path budgets and the backend-derived drain/overhead calibration
+// (which the differential harness validates per profile).
+func ConfigForProfile(p profile.Profile) Config {
 	return Config{
-		UopCache:     uopcache.Skylake(),
-		Decode:       decode.Skylake(),
-		PathBudget:   48,
+		UopCache:        p.UopCache,
+		Decode:          p.Decode,
+		PathBudget:      48,
 		DrainWidth:      backend.DefaultConfig().DispatchWidth,
 		DrainLag:        DefaultDrainLag,
 		RunOverhead:     DefaultRunOverhead,

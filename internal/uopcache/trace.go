@@ -55,6 +55,11 @@ type Trace struct {
 // first unconditional jump, whichever is earlier.
 func BuildTrace(cfg Config, region uint64, entry uint8, macros []MacroUops) *Trace {
 	t := &Trace{Region: region, Entry: entry, Cacheable: true}
+	if cfg.Disabled {
+		t.Cacheable = false
+		t.Reason = "dsb-disabled"
+		return t
+	}
 	if len(macros) == 0 {
 		t.Cacheable = false
 		t.Reason = "empty"

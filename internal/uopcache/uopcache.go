@@ -66,6 +66,12 @@ type Config struct {
 	// StreamWidth is the per-cycle µop delivery bandwidth on a hit
 	// (6 on Skylake).
 	StreamWidth int
+	// Disabled turns the structure into a pure MITE-only control: every
+	// lookup misses, every fill is rejected as uncacheable, and traces
+	// built against this configuration report dsb-disabled. Geometry
+	// fields are kept so set/region arithmetic (receiver layout, probe
+	// chains) still works; only the caching behaviour is removed.
+	Disabled bool
 }
 
 // Skylake returns the Intel Skylake/Coffee Lake configuration the paper
@@ -268,8 +274,12 @@ func (c *Cache) Lookup(thread int, addr uint64) ([]isa.Uop, bool) {
 func (c *Cache) LookupAppend(thread int, addr uint64, dst []isa.Uop) ([]isa.Uop, bool) {
 	region := c.RegionOf(addr)
 	entry := uint8(addr - region)
-	set := c.sets[c.setIndex(thread, region)]
 	c.stats.Lookups++
+	if c.cfg.Disabled {
+		c.stats.Misses++
+		return dst, false
+	}
+	set := c.sets[c.setIndex(thread, region)]
 
 	var found [8]*line
 	var total int = -1
@@ -301,7 +311,7 @@ func (c *Cache) LookupAppend(thread int, addr uint64, dst []isa.Uop) ([]isa.Uop,
 		uops = append(uops, l.uops...)
 	}
 	c.stats.Hits++
-	c.stats.StreamedUops += uint64(len(uops)-len(dst))
+	c.stats.StreamedUops += uint64(len(uops) - len(dst))
 	return uops, true
 }
 
@@ -329,7 +339,7 @@ func (c *Cache) Present(thread int, addr uint64) bool {
 // so a cold evictor must out-access a hot resident before displacing
 // it — the Fig 5 behaviour.
 func (c *Cache) Fill(thread int, t *Trace) {
-	if t == nil || !t.Cacheable {
+	if t == nil || !t.Cacheable || c.cfg.Disabled {
 		c.stats.Uncacheable++
 		return
 	}
