@@ -38,16 +38,20 @@ bench-json:
 	@echo wrote BENCH_$(BENCHDATE).json
 
 # fuzz runs every native fuzz target for FUZZTIME each: the assembler
-# and legacy-decode invariants, and the three differential contracts —
-# predicted vs simulator-measured refill deltas, the receiver model's
-# predicted vs attack-measured probe cycles, and the jump-alignment
-# stall asymmetry on alignment-divergent victims.
+# and legacy-decode invariants, the indirect-target resolution
+# completeness invariant, and the differential contracts — predicted vs
+# simulator-measured refill deltas (including the resolution-gated
+# indirect shapes), the receiver model's predicted vs attack-measured
+# probe cycles, and the jump-alignment stall asymmetry on
+# alignment-divergent victims.
 fuzz:
 	$(GO) test ./internal/asm -fuzz FuzzAssemble -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/decode -fuzz FuzzPlanRegion -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/staticlint -fuzz FuzzIndirectResolve -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/staticlint/difftest -fuzz FuzzPredictedDelta -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/staticlint/difftest -fuzz FuzzProbeModel -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/staticlint/difftest -fuzz FuzzAlignmentDelta -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/staticlint/difftest -fuzz FuzzIndirectDelta -fuzztime $(FUZZTIME)
 
 check: build vet test race lint
 	$(MAKE) fuzz FUZZTIME=5s

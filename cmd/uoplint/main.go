@@ -12,6 +12,7 @@
 //	uoplint -json            machine-readable findings
 //	uoplint -fixture pci-vpd lint one fixture
 //	uoplint -severity error  keep only error-level findings
+//	uoplint -fail-on warning exit 1 when findings at/above a severity exist
 //	uoplint -checkers a,b    run only the named checkers (default all)
 //	uoplint -random 20       also lint 20 random programs
 //	uoplint -profile zen     lint under a registered front-end profile
@@ -43,6 +44,12 @@ type programReport struct {
 	Description string               `json:"description,omitempty"`
 	Profile     string               `json:"profile,omitempty"`
 	Findings    []staticlint.Finding `json:"findings"`
+	// Resolved and Precision carry the indirect-target resolution's
+	// output: the CALLI/JMPI sites proven complete and the program's
+	// havoc-rate metrics. Both are omitted for programs with no
+	// indirect control flow, keeping the historical goldens byte-stable.
+	Resolved  []staticlint.ResolvedSite `json:"resolved_targets,omitempty"`
+	Precision *staticlint.Precision     `json:"precision,omitempty"`
 }
 
 func main() {
@@ -58,6 +65,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fixture  = fs.String("fixture", "", "lint only the named fixture")
 		random   = fs.Int("random", 0, "also lint this many randomly generated programs")
 		selftest = fs.Bool("selftest", false, "assert canonical victim expectations and exit nonzero on mismatch")
+		failOn   = fs.String("fail-on", "", "exit 1 when findings at/above this severity exist (info|warning|error)")
 		checkers = fs.String("checkers", "", "comma-separated checker names to run (default: all)")
 		profName = fs.String("profile", profile.Default().Name,
 			"front-end profile to lint under ("+strings.Join(profile.Names(), "|")+")")
@@ -69,6 +77,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
+	}
+	// gate is the CI threshold: negative when -fail-on is unset.
+	gate := staticlint.Severity(-1)
+	if *failOn != "" {
+		if gate, err = staticlint.ParseSeverity(*failOn); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
 	}
 	prof, err := profile.Get(*profName)
 	if err != nil {
@@ -113,6 +129,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Description: fx.Description,
 			Profile:     profTag,
 			Findings:    r.Findings,
+			Resolved:    r.Resolved,
+			Precision:   r.Precision,
 		})
 	}
 	// The codegen-emitted attack probes are linted alongside the victim
@@ -134,6 +152,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Description: ap.desc,
 			Profile:     profTag,
 			Findings:    r.Findings,
+			Resolved:    r.Resolved,
+			Precision:   r.Precision,
 		})
 	}
 	if *fixture != "" && !matched {
@@ -152,10 +172,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		r := staticlint.Lint(p, staticlint.Spec{}, cfg).Filter(min)
 		reports = append(reports, programReport{
-			Program:  fmt.Sprintf("random-%d", seed),
-			Profile:  profTag,
-			Findings: r.Findings,
+			Program:   fmt.Sprintf("random-%d", seed),
+			Profile:   profTag,
+			Findings:  r.Findings,
+			Resolved:  r.Resolved,
+			Precision: r.Precision,
 		})
+	}
+
+	// The -fail-on gate: a clean run exits 0, any finding at or above
+	// the threshold turns the exit code into 1 after the full report is
+	// emitted — the shape CI pipelines consume.
+	exit := 0
+	if gate >= 0 {
+		for _, pr := range reports {
+			for _, f := range pr.Findings {
+				if f.Severity >= gate {
+					exit = 1
+				}
+			}
+		}
 	}
 
 	if *selftest {
@@ -174,10 +210,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintln(stderr, err)
 				return 1
 			}
-			return 0
+			return exit
 		}
 		fmt.Fprintln(stdout, "uoplint: selftest ok")
-		return 0
+		return exit
 	}
 
 	if *asJSON {
@@ -194,7 +230,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
-		return 0
+		return exit
 	}
 
 	total := 0
@@ -211,10 +247,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, f := range pr.Findings {
 			fmt.Fprintf(stdout, "  %s\n", f)
 		}
+		if p := pr.Precision; p != nil {
+			fmt.Fprintf(stdout, "  indirect control flow: %d site(s), %d resolved, havoc rate %.2f (was %.2f)\n",
+				p.IndirectSites, p.ResolvedSites, p.HavocRate, p.HavocRateBefore)
+		}
 		total += len(pr.Findings)
 	}
 	fmt.Fprintf(stdout, "\n%d findings across %d programs\n", total, len(reports))
-	return 0
+	return exit
 }
 
 // attackProgram is one codegen-emitted probe routine to lint.
@@ -307,6 +347,33 @@ func selfTest(reports []programReport, prof profile.Profile) []string {
 	expect("bounds-check", "secret-dependent-branch", true)
 	expect("bounds-check", "spectre-v1-gadget", false)
 	expect("indirect-call", "secret-dependent-branch", true)
+	// The resolvable-dispatch victim: its secret branch lives behind a
+	// program-built function-pointer table, so the findings below exist
+	// only because the value-set resolution proves the complete handler
+	// set and joins the summaries across the call — a havoc fallback
+	// would smear the taint but lose the callee's footprint divergence
+	// and the call chain into the handler.
+	expect("fn-dispatch", "secret-dependent-branch", true)
+	expect("fn-dispatch", "dsb-footprint-divergence", hasDSB)
+	// Precision contract: fn-dispatch resolves its single dispatch site
+	// (havoc rate 0 against a 1.0 before-rate), while Listing 5's
+	// secret-indexed dispatch through runtime data memory must stay a
+	// havoc site — resolution is a precision upgrade, not a soundness
+	// trade.
+	precision := func(name string) *staticlint.Precision {
+		for _, pr := range reports {
+			if pr.Program == name {
+				return pr.Precision
+			}
+		}
+		return nil
+	}
+	if p := precision("fn-dispatch"); p == nil || p.IndirectSites != 1 || p.ResolvedSites != 1 || p.HavocRate != 0 {
+		msgs = append(msgs, fmt.Sprintf("fn-dispatch: precision %+v, want its one dispatch site resolved", p))
+	}
+	if p := precision("indirect-call"); p == nil || p.IndirectSites != 1 || p.ResolvedSites != 0 || p.HavocRate != 1 {
+		msgs = append(msgs, fmt.Sprintf("indirect-call: precision %+v, want its data-dependent dispatch havocked", p))
+	}
 	// The front-end channel fixtures pin the two new checkers against
 	// each other: the alignment victim leaks only through jump
 	// alignment (both paths stay µop-cache resident), the switch victim
@@ -346,6 +413,11 @@ func selfTest(reports []programReport, prof profile.Profile) []string {
 		if !hasChainTo("callee-branch", callee) {
 			msgs = append(msgs, fmt.Sprintf("callee-branch: no finding carries a call chain into %s", callee))
 		}
+	}
+	// The resolvable dispatch's findings must trace their chain through
+	// the resolved indirect frame into the handler.
+	if !hasChainTo("fn-dispatch", "fd_handler") {
+		msgs = append(msgs, "fn-dispatch: no finding carries a call chain through the resolved dispatch into fd_handler")
 	}
 	// The sanitizing callee kills the secret before the caller
 	// branches; any finding here means callee kill sets are ignored.

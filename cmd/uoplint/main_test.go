@@ -412,6 +412,178 @@ func TestGoldenJccAlignZen(t *testing.T) {
 	}
 }
 
+// TestGoldenFnDispatch pins the resolvable-dispatch fixture: the
+// value-set pass must resolve its table-loaded call, the report must
+// carry the resolved target set and precision metrics, and the
+// divergence finding must reach fd_handler through the resolved frame
+// — the end-to-end contract the havoc-only linter could not state.
+func TestGoldenFnDispatch(t *testing.T) {
+	got := runJSON(t, "fn-dispatch")
+	goldenCompare(t, "fn-dispatch.json", got)
+
+	var pr struct {
+		Resolved []struct {
+			Kind    string   `json:"kind"`
+			Targets []string `json:"targets"`
+		} `json:"resolved_targets"`
+		Precision *struct {
+			IndirectSites int     `json:"indirect_sites"`
+			ResolvedSites int     `json:"resolved_sites"`
+			HavocRate     float64 `json:"havoc_rate"`
+			Before        float64 `json:"havoc_rate_before"`
+		} `json:"precision"`
+		Findings []struct {
+			Checker   string `json:"checker"`
+			CallChain []struct {
+				CalleeLabel string `json:"callee_label"`
+			} `json:"call_chain"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal(got, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Resolved) != 1 || pr.Resolved[0].Kind != "calli" || len(pr.Resolved[0].Targets) != 2 {
+		t.Fatalf("resolved_targets = %+v, want one calli site with both table slots", pr.Resolved)
+	}
+	if p := pr.Precision; p == nil ||
+		p.IndirectSites != 1 || p.ResolvedSites != 1 || p.HavocRate != 0 || p.Before != 1 {
+		t.Fatalf("precision = %+v, want the single site fully resolved from a 1.0 before-rate", pr.Precision)
+	}
+	chained := false
+	for _, f := range pr.Findings {
+		if f.Checker != "dsb-footprint-divergence" {
+			continue
+		}
+		for _, fr := range f.CallChain {
+			if fr.CalleeLabel == "fd_handler" {
+				chained = true
+			}
+		}
+	}
+	if !chained {
+		t.Error("fn-dispatch divergence finding does not chain into fd_handler through the resolved call")
+	}
+}
+
+// TestFailOnFlag pins the CI gate: -fail-on turns findings at or above
+// the named severity into a non-zero exit while leaving the report
+// intact, a clean fixture still exits zero, and a bogus severity is a
+// usage error.
+func TestFailOnFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", "-fixture", "pci-vpd", "-fail-on", "error"}, &out, &errb); code != 1 {
+		t.Errorf("pci-vpd -fail-on error exit = %d, want 1 (%s)", code, errb.String())
+	}
+	if !bytes.Contains(out.Bytes(), []byte(`"findings"`)) {
+		t.Error("-fail-on suppressed the report body")
+	}
+
+	out.Reset()
+	if code := run([]string{"-json", "-fixture", "callee-kill", "-fail-on", "warning"}, &out, &errb); code != 0 {
+		t.Errorf("clean fixture -fail-on warning exit = %d, want 0 (%s)", code, errb.String())
+	}
+
+	// The gate must respect the -severity filter: error-severity
+	// findings survive filtering, so the gate still trips.
+	if code := run([]string{"-json", "-fixture", "pci-vpd", "-severity", "error", "-fail-on", "warning"},
+		&out, &errb); code != 1 {
+		t.Errorf("filtered pci-vpd -fail-on warning exit = %d, want 1", code)
+	}
+
+	errb.Reset()
+	if code := run([]string{"-fail-on", "fatal"}, &out, &errb); code != 2 {
+		t.Errorf("bogus -fail-on exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "severity") {
+		t.Errorf("bogus -fail-on error = %q", errb.String())
+	}
+}
+
+// TestGoldenPCIVPDZen pins the paper victim's receiver model under the
+// Zen profile: AMD's µop cache is physically partitioned per thread,
+// so the probe histogram's timings differ from the Skylake golden, but
+// the divergence finding and its histogram must survive — the channel
+// exists on both vendors (§VII of the paper).
+func TestGoldenPCIVPDZen(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", "-fixture", "pci-vpd", "-profile", "zen"}, &out, &errb); code != 0 {
+		t.Fatalf("uoplint exited %d: %s", code, errb.String())
+	}
+	got := out.Bytes()
+	goldenCompare(t, "pci-vpd.zen.json", got)
+
+	var pr struct {
+		Profile  string `json:"profile"`
+		Findings []struct {
+			Checker string `json:"checker"`
+			Probe   *struct {
+				Hit             int  `json:"predicted_hit_cycles"`
+				Distinguishable bool `json:"distinguishable"`
+			} `json:"probe_histogram"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal(got, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Profile != "zen" {
+		t.Errorf("report profile %q, want zen", pr.Profile)
+	}
+	found := false
+	for _, f := range pr.Findings {
+		if f.Checker != "dsb-footprint-divergence" {
+			continue
+		}
+		found = true
+		if f.Probe == nil || f.Probe.Hit <= 0 {
+			t.Errorf("zen divergence finding lacks a usable probe_histogram: %+v", f.Probe)
+		}
+	}
+	if !found {
+		t.Error("pci-vpd.zen golden lacks the dsb-footprint-divergence finding")
+	}
+}
+
+// TestGoldenPCIVPDMiteOnly pins the control profile: with the DSB
+// disabled there is no µop-cache footprint to diverge, so the
+// divergence checker and its histogram must vanish while the
+// constant-time findings remain — the null-hypothesis report.
+func TestGoldenPCIVPDMiteOnly(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", "-fixture", "pci-vpd", "-profile", "mite-only"}, &out, &errb); code != 0 {
+		t.Fatalf("uoplint exited %d: %s", code, errb.String())
+	}
+	got := out.Bytes()
+	goldenCompare(t, "pci-vpd.mite-only.json", got)
+
+	var pr struct {
+		Profile  string `json:"profile"`
+		Findings []struct {
+			Checker string `json:"checker"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal(got, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Profile != "mite-only" {
+		t.Errorf("report profile %q, want mite-only", pr.Profile)
+	}
+	var hasBranch bool
+	for _, f := range pr.Findings {
+		if f.Checker == "dsb-footprint-divergence" {
+			t.Error("divergence finding fired with the DSB disabled")
+		}
+		if f.Checker == "secret-dependent-branch" {
+			hasBranch = true
+		}
+	}
+	if !hasBranch {
+		t.Error("mite-only control lost the constant-time findings")
+	}
+	if bytes.Contains(got, []byte(`"probe_histogram"`)) {
+		t.Error("mite-only control carries a probe histogram")
+	}
+}
+
 // TestCheckersFlag pins the -checkers selection: only the named
 // checkers run, and an unknown name is a usage error.
 func TestCheckersFlag(t *testing.T) {

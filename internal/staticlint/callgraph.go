@@ -15,13 +15,26 @@ import (
 // and applied at every site.
 
 // callSite is one call instruction inside a function: a direct CALL
-// with a resolved target, or an indirect transfer (CALLI/SYSCALL)
-// whose callee is statically unknown.
+// with a resolved target, an indirect CALLI the resolution pass proved
+// a complete target set for, or an indirect transfer (CALLI/SYSCALL)
+// whose callee set is statically unknown.
 type callSite struct {
 	addr     uint64 // address of the call instruction
 	block    int    // CFG block the call terminates
 	target   uint64 // direct CALL target (meaningless when indirect)
 	indirect bool
+	// targets is the complete resolved target set of an indirect call
+	// (resolve.go); nil means the callee set is unknown (havoc).
+	targets []uint64
+}
+
+// callees returns the statically known callee entries of the site, or
+// nil when the callee set is unknown and the havoc contract applies.
+func (cs *callSite) callees() []uint64 {
+	if !cs.indirect {
+		return []uint64{cs.target}
+	}
+	return cs.targets
 }
 
 // Func is one call-graph node: an entry block plus every block
@@ -60,9 +73,17 @@ func (a *Analysis) buildFuncs() {
 		if len(b.Preds) == 0 {
 			entrySet[b.Index] = true
 		}
-		if last := b.Last(); last.Op == isa.CALL {
+		switch last := b.Last(); last.Op {
+		case isa.CALL:
 			if t := g.BlockAt(uint64(last.Imm)); t != nil {
 				entrySet[t.Index] = true
+			}
+		case isa.CALLI:
+			// Every resolved indirect-call target is a function entry,
+			// exactly like a direct CALL target (the completeness gate
+			// guarantees the block exists).
+			for _, t := range a.resolved[last.Addr] {
+				entrySet[g.byStart[t]] = true
 			}
 		}
 	}
@@ -93,10 +114,17 @@ func (a *Analysis) buildFuncs() {
 			switch last := blk.Last(); last.Op {
 			case isa.CALL:
 				f.Calls = append(f.Calls, callSite{addr: last.Addr, block: bi, target: uint64(last.Imm)})
-			case isa.CALLI, isa.SYSCALL:
+			case isa.CALLI:
+				f.Calls = append(f.Calls, callSite{addr: last.Addr, block: bi, indirect: true, targets: a.resolved[last.Addr]})
+			case isa.SYSCALL:
 				f.Calls = append(f.Calls, callSite{addr: last.Addr, block: bi, indirect: true})
 			case isa.JMPI:
-				f.hasIndirectJump = true
+				// A resolved JMPI has real EdgeTaken successors the body
+				// traversal follows; only an unresolved one means control
+				// can leave invisibly.
+				if len(a.resolved[last.Addr]) == 0 {
+					f.hasIndirectJump = true
+				}
 			}
 			for _, e2 := range blk.Succs {
 				if e2.To < 0 || e2.Kind == EdgeCall {
@@ -131,15 +159,16 @@ func (a *Analysis) buildFuncs() {
 		}
 	}
 
-	// Reverse call edges, for call-chain reconstruction.
+	// Reverse call edges, for call-chain reconstruction. Resolved
+	// indirect sites contribute one edge per target, so call chains
+	// trace through resolved indirect frames.
 	a.callers = make([][]callerRef, len(a.funcs))
 	for fi, f := range a.funcs {
 		for _, cs := range f.Calls {
-			if cs.indirect {
-				continue
-			}
-			if j, ok := a.funcIndex[cs.target]; ok {
-				a.callers[j] = append(a.callers[j], callerRef{caller: fi, site: cs.addr})
+			for _, t := range cs.callees() {
+				if j, ok := a.funcIndex[t]; ok {
+					a.callers[j] = append(a.callers[j], callerRef{caller: fi, site: cs.addr})
+				}
 			}
 		}
 	}
@@ -176,11 +205,10 @@ func (a *Analysis) callSCCs() [][]int {
 	adj := make([][]int, n)
 	for fi, f := range a.funcs {
 		for _, cs := range f.Calls {
-			if cs.indirect {
-				continue
-			}
-			if j, ok := a.funcIndex[cs.target]; ok {
-				adj[fi] = append(adj[fi], j)
+			for _, t := range cs.callees() {
+				if j, ok := a.funcIndex[t]; ok {
+					adj[fi] = append(adj[fi], j)
+				}
 			}
 		}
 	}
@@ -233,12 +261,15 @@ func (a *Analysis) callSCCs() [][]int {
 	return sccs
 }
 
-// selfCalls reports whether function fi directly calls itself.
+// selfCalls reports whether function fi calls itself through a direct
+// CALL or a resolved indirect site.
 func (a *Analysis) selfCalls(fi int) bool {
 	f := a.funcs[fi]
 	for _, cs := range f.Calls {
-		if !cs.indirect && cs.target == f.Entry {
-			return true
+		for _, t := range cs.callees() {
+			if t == f.Entry {
+				return true
+			}
 		}
 	}
 	return false

@@ -154,7 +154,24 @@ func (a *Analysis) walkPathStop(start, stop uint64, budget int) pathInfo {
 			pc = retStack[len(retStack)-1]
 			retStack = retStack[:len(retStack)-1]
 			rangeStart = pc
-		case isa.JMPI, isa.CALLI, isa.HALT, isa.SYSCALL, isa.SYSRET:
+		case isa.JMPI, isa.CALLI:
+			// A singleton-resolved indirect transfer continues the walk
+			// like its direct counterpart (the simulator's indirect
+			// predictor converges on the one target after training). A
+			// multi-target or unresolved site still ends the walk: the
+			// straight-line path model has no single successor to follow.
+			if ts := a.resolved[in.Addr]; len(ts) == 1 {
+				closeRange(in.End())
+				if in.Op == isa.CALLI {
+					retStack = append(retStack, in.End())
+				}
+				pc = ts[0]
+				rangeStart = pc
+				continue
+			}
+			closeRange(in.End())
+			return p
+		case isa.HALT, isa.SYSCALL, isa.SYSRET:
 			closeRange(in.End())
 			return p
 		default:

@@ -60,6 +60,37 @@ const (
 	// region fetch returns to. The address is WayStride-aligned and
 	// clear of both chains' spans.
 	helperBase = entryBase + 0x6000
+	// tableAddr is the two-slot function-pointer table
+	// ShapeIndirectTable victims build at runtime: slot 0 holds the hot
+	// dispatch target, slot 1 the cold decoy. Both slots are written at
+	// constant addresses, so the value-set analysis tracks them as
+	// strongly-updated cells — the "bounded, read-only target table"
+	// pattern the resolution pass exists for.
+	tableAddr = 0x9200
+	// idxAddr is the dispatch-index byte ShapeIndirectTable victims
+	// load: never written, so it reads zero at runtime (slot 0, the hot
+	// target) while staying statically unknown — the masked-index
+	// pattern resolution must bound without knowing the value.
+	idxAddr = 0x9300
+	// dispatchBase hosts ShapeIndirectTable's hot dispatch target: its
+	// first region ends with the secret branch, whose fall-through
+	// streams into the fall chain's first region. dispatchDecoy hosts
+	// the cold slot's never-executed target, placed past the largest
+	// possible fall-chain span (64-set profiles stride 2 KiB per way)
+	// so the resolved target set keeps two members without address
+	// collisions.
+	dispatchBase  = entryBase + 0x5000
+	dispatchDecoy = entryBase + 0x7000
+	// mutualABase and mutualBBase host ShapeIndirectMutual's two
+	// functions; mutualARec and mutualBRec host their never-executed
+	// recursion stubs, each of which calls the *other* function through
+	// a register — the resolved indirect edges close a static cycle the
+	// summary fixpoint must converge over. The fall chain shares
+	// mutualABase, so the stubs sit past its largest possible span.
+	mutualABase = entryBase + 0x5000
+	mutualARec  = entryBase + 0x6400
+	mutualBBase = entryBase + 0x6800
+	mutualBRec  = entryBase + 0x6C00
 	// exitAddr hosts the shared exit block both chains jump to.
 	exitAddr = takenBase + 0x10000
 
@@ -124,11 +155,29 @@ const (
 	ShapeSwitch Shape = 7
 	// ShapeIndirect routes control through an indirect call (CALLI via
 	// a register) before the secret branch: the branch sits in the
-	// region the call returns to, so its taint reaches the checker only
-	// through the interprocedural havoc fallback — the soundness edge
-	// this shape pins (an unsound havoc would silently drop the secret
-	// and miss the branch).
+	// region the call returns to. The resolution pass proves the
+	// singleton target (a MOVI-loaded constant), so the secret crosses
+	// the call through the resolved callee's summary; when resolution
+	// is unavailable (e.g. a capped fixpoint) the site degrades to the
+	// interprocedural havoc fallback — the soundness edge this shape
+	// originally pinned (an unsound havoc would silently drop the
+	// secret and miss the branch).
 	ShapeIndirect Shape = 8
+	// ShapeIndirectTable dispatches through a two-slot function-pointer
+	// table the program itself writes: the dispatch index is a loaded
+	// byte masked to one bit, so the value-set analysis must prove the
+	// complete {hot, decoy} target set to see through the call. The
+	// secret branch sits in the hot target's first region — a havocked
+	// site leaves that region an unreached pseudo-entry with no taint,
+	// so the divergence finding exists only through resolution.
+	ShapeIndirectTable Shape = 9
+	// ShapeIndirectMutual routes the secret branch through a resolved
+	// indirect call into a function whose never-executed recursion stub
+	// indirectly calls a second function, whose own stub indirectly
+	// calls the first — a mutual-recursion SCC formed purely by
+	// resolved indirect edges, pinning that the summary fixpoint
+	// converges over cycles the resolution pass created.
+	ShapeIndirectMutual Shape = 10
 )
 
 // String implements fmt.Stringer.
@@ -152,6 +201,10 @@ func (s Shape) String() string {
 		return "switch"
 	case ShapeIndirect:
 		return "indirect"
+	case ShapeIndirectTable:
+		return "indirect-table"
+	case ShapeIndirectMutual:
+		return "indirect-mutual"
 	default:
 		return "shape?"
 	}
@@ -184,9 +237,11 @@ type Victim struct {
 	// TakenUnc and FallUnc are the per-direction uncacheable tail
 	// chains (ShapeUncacheable both, ShapeSwitch TakenUnc only).
 	TakenUnc, FallUnc *codegen.ChainSpec
-	// Helper and RetSite are ShapeIndirect's callee entry and the
-	// return-site address the indirect call resumes at (zero
-	// otherwise); Predict stitches the fetch path across them.
+	// Helper and RetSite are the indirect shapes' callee entry and (for
+	// ShapeIndirect) the return-site address the call resumes at, zero
+	// otherwise. The single-target shapes walk straight through their
+	// resolved calls; Predict stitches ShapeIndirectTable's fetch path
+	// across its two-target dispatch via Helper.
 	Helper, RetSite uint64
 }
 
@@ -292,6 +347,28 @@ func (h *Harness) chainShape(r *rng, base uint64, lo, hi, first int, label strin
 }
 
 func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// uncPad emits n uncacheable padding regions: each one exactly 32
+// bytes of NOPs totalling more µops than the profile's cacheability
+// cap, so the region is MITE-delivered on every fetch. This is
+// retire-distance padding that occupies no micro-op cache ways — the
+// cacheable ShapeCalleeSpill-style preamble would overflow sets that
+// the padded shape's chains also draw on.
+func (h *Harness) uncPad(b *asm.Builder, n int) {
+	for i := 0; i < n; i++ {
+		for j := 0; j < h.uncLo; j++ {
+			b.Nop(1)
+		}
+		for rem := codegen.RegionSize - h.uncLo; rem > 0; {
+			k := rem
+			if k > 15 {
+				k = 15
+			}
+			b.Nop(k)
+			rem -= k
+		}
+	}
+}
 
 // nopLen draws a NOP length so count NOPs fit in budget bytes.
 func nopLen(r *rng, count, budget int) int {
@@ -418,8 +495,8 @@ func (h *Harness) Generate(seed uint64) (*Victim, error) {
 
 // GenerateShape builds a victim of an explicitly chosen shape for
 // seed, bypassing Generate's shape draw — the entry point for the
-// shapes outside the random pool (ShapeAlign, ShapeSwitch,
-// ShapeIndirect) and for per-shape corpora. For the random-pool shapes
+// shapes outside the random pool (ShapeAlign through
+// ShapeIndirectMutual) and for per-shape corpora. For the random-pool shapes
 // the stream differs from Generate's (no draw is consumed), so the two
 // entry points yield different victims for the same seed.
 func GenerateShape(seed uint64, shape Shape) (*Victim, error) {
@@ -429,7 +506,7 @@ func GenerateShape(seed uint64, shape Shape) (*Victim, error) {
 // GenerateShape builds a victim of an explicitly chosen shape for seed
 // under the harness's profile.
 func (h *Harness) GenerateShape(seed uint64, shape Shape) (*Victim, error) {
-	if shape < 0 || shape > ShapeIndirect {
+	if shape < 0 || shape > ShapeIndirectMutual {
 		return nil, fmt.Errorf("difftest: unknown shape %d", int(shape))
 	}
 	r := rng{x: seed}
@@ -549,9 +626,11 @@ func (h *Harness) generate(seed uint64, shape Shape, rp *rng) (*Victim, error) {
 		b.Jcc(isa.NE, v.Taken.EntryLabel()) // 2 bytes; ends exactly at entryBase+32
 	case ShapeIndirect:
 		// The entry region ends with an indirect call through a
-		// register; the secret branch sits in the region the call
-		// returns to, so its flags taint reaches the analysis only via
-		// the interprocedural havoc fallback at the unresolved call.
+		// register holding a MOVI constant; the secret branch sits in
+		// the region the call returns to. The resolution pass pins the
+		// singleton target, so the secret's flags taint crosses the
+		// call through the resolved callee's summary (and degrades to
+		// the havoc fallback if resolution is ever unavailable).
 		v.Fall = h.chainShape(&r, entryBase, 3, 15, 2, "fall")
 		v.Taken = h.chainShape(&r, takenBase, 16, 31, -1, "taken")
 		b.Xor(isa.R1, isa.R1)                      // 3 bytes
@@ -567,6 +646,77 @@ func (h *Harness) generate(seed uint64, shape Shape, rp *rng) (*Victim, error) {
 		b.Nop(13)
 		branch = b.PC()
 		b.Jcc(isa.NE, v.Taken.EntryLabel()) // 2 bytes; ends exactly at entryBase+64
+	case ShapeIndirectTable:
+		// The entry builds a two-slot function-pointer table at
+		// constant addresses, loads a masked index, and dispatches
+		// through the table. The index load, slot arithmetic, and table
+		// load all sit in the first two regions; three uncacheable NOP
+		// regions then separate them from the CALLI so the serial
+		// load→ALU→load latency completes under the padding's MITE
+		// delivery — exposed, it would stall only the drain-bound warm
+		// run and skew the measured delta against the fetch-only model.
+		// Uncacheable padding also occupies no micro-op cache ways in
+		// sets the dispatch zone's chains draw on. The secret branch is the
+		// hot target's first region: the straight-line walk ends at the
+		// two-target call, and the divergence finding exists only
+		// because resolution proves the complete {hot, decoy} set and
+		// joins the hot callee's summary across the site.
+		v.Fall = h.chainShape(&r, dispatchBase, 5, 15, 1, "fall")
+		v.Taken = h.chainShape(&r, takenBase, 16, 31, -1, "taken")
+		b.Xor(isa.R1, isa.R1)                      // 3 bytes
+		b.Loadb(isa.R2, isa.R1, int64(SecretAddr)) // 4 bytes
+		b.Movi(isa.R4, int64(dispatchBase))        // 5 bytes
+		b.Store(isa.R1, tableAddr, isa.R4)         // 4 bytes; table[0] = hot
+		b.Movi(isa.R4, int64(dispatchDecoy))       // 5 bytes
+		b.Store(isa.R1, tableAddr+8, isa.R4)       // 4 bytes; table[1] = decoy
+		b.Loadb(isa.R5, isa.R1, idxAddr)           // 4 bytes; runtime 0, statically unknown
+		b.Nop(3)                                   // ends the region at entryBase+32
+		b.Andi(isa.R5, 8)                          // 4 bytes; slot offset bounded to {0, 8}
+		b.Addi(isa.R5, tableAddr)                  // 4 bytes; slot address
+		b.Load(isa.R6, isa.R5, 0)                  // 4 bytes; the table load
+		b.Nop(13)
+		b.Nop(7) // ends the region at entryBase+64
+		h.uncPad(b, spillPreambleRegions)
+		b.Nop(13)
+		b.Nop(13)
+		b.Nop(3)
+		b.Calli(isa.R6) // 3 bytes; ends the dispatch region at a boundary
+		v.Helper = dispatchBase
+		b.Org(dispatchBase)
+		b.Label("dispatch_hot")
+		b.Cmpi(isa.R2, 0) // 4 bytes; the secret survives the call in R2
+		b.Nop(13)
+		b.Nop(13)
+		branch = b.PC()
+		b.Jcc(isa.NE, v.Taken.EntryLabel()) // 2 bytes; ends exactly at dispatchBase+32
+	case ShapeIndirectMutual:
+		// The ShapeIndirect entry, but the callee is the first of two
+		// functions whose never-executed recursion stubs call each
+		// other through registers: the call graph must treat the
+		// resolved edges like direct ones for the summary fixpoint over
+		// the A → B → A cycle to converge. The hot path never recurses
+		// — the callee's first region guards on a constant-zero
+		// register — and its second region ends with the secret branch.
+		v.Fall = h.chainShape(&r, mutualABase, 3, 15, 2, "fall")
+		v.Taken = h.chainShape(&r, takenBase, 16, 31, -1, "taken")
+		b.Xor(isa.R1, isa.R1)                      // 3 bytes
+		b.Loadb(isa.R2, isa.R1, int64(SecretAddr)) // 4 bytes
+		b.Movi(isa.R3, int64(mutualABase))         // 5 bytes; resolved target
+		b.Nop(15)
+		b.Nop(2)
+		b.Calli(isa.R3) // 3 bytes; ends exactly at entryBase+32
+		v.Helper = mutualABase
+		b.Org(mutualABase)
+		b.Label("mutual_a")
+		b.Cmpi(isa.R1, 1) // 4 bytes; constant-zero guard: never taken
+		b.Nop(13)
+		b.Nop(13)
+		b.Jcc(isa.EQ, "mutual_a_rec") // 2 bytes; ends at mutualABase+32
+		b.Cmpi(isa.R2, 0)             // 4 bytes; the secret branch region
+		b.Nop(13)
+		b.Nop(13)
+		branch = b.PC()
+		b.Jcc(isa.NE, v.Taken.EntryLabel()) // 2 bytes; ends exactly at mutualABase+64
 	}
 	exitLabel := "exit"
 	if shape == ShapeSharedSuffix {
@@ -614,6 +764,43 @@ func (h *Harness) generate(seed uint64, shape Shape, rp *rng) (*Victim, error) {
 		for i := 0; i < 16; i++ {
 			b.Nop(1)
 		}
+		b.Ret()
+	}
+	if shape == ShapeIndirectTable {
+		// The cold dispatch target: present so the resolved target set
+		// keeps two members, never executed (the dispatch index byte
+		// reads zero). Mirrors the ShapeIndirect helper's layout.
+		b.Org(dispatchDecoy)
+		b.Label("dispatch_cold")
+		for i := 0; i < 16; i++ {
+			b.Nop(1)
+		}
+		b.Ret()
+	}
+	if shape == ShapeIndirectMutual {
+		// The never-executed recursion stubs: each function's guard
+		// jumps to its stub, and each stub calls the *other* function
+		// through a register — the resolved edges close the static
+		// cycle mutual_a → mutual_b → mutual_a.
+		b.Org(mutualARec)
+		b.Label("mutual_a_rec")
+		b.Movi(isa.R4, int64(mutualBBase))
+		b.Calli(isa.R4)
+		b.Ret()
+		b.Org(mutualBBase)
+		b.Label("mutual_b")
+		b.Cmpi(isa.R1, 1)
+		b.Nop(13)
+		b.Nop(13)
+		b.Jcc(isa.EQ, "mutual_b_rec")
+		for i := 0; i < 16; i++ {
+			b.Nop(1)
+		}
+		b.Ret()
+		b.Org(mutualBRec)
+		b.Label("mutual_b_rec")
+		b.Movi(isa.R4, int64(mutualABase))
+		b.Calli(isa.R4)
 		b.Ret()
 	}
 	if err := v.Taken.Emit(b, takenExit); err != nil {
@@ -700,14 +887,15 @@ func (h *Harness) Predict(v *Victim) (Prediction, error) {
 	branch := v.Prog.At(v.Branch)
 	var prefix []uopcache.Range
 	fallRanges := a.FetchRanges(v.Entry, 0)
-	if v.Shape == ShapeIndirect {
-		// The straight-line walk ends at the indirect call, so stitch
-		// the run the simulator actually fetches: entry region through
-		// the CALLI, the callee through its RET, then the return site up
-		// to the branch.
+	if v.Shape == ShapeIndirectTable {
+		// The straight-line walk ends at the dispatch call — a complete
+		// two-target set still has no single successor to follow — so
+		// stitch the run the simulator fetches: the entry through the
+		// CALLI, then the hot dispatch target through the branch.
+		// (ShapeIndirect and ShapeIndirectMutual need no stitch: the
+		// walk continues through their singleton-resolved calls.)
 		prefix = append(prefix, a.FetchRanges(v.Entry, 0)...)
-		prefix = append(prefix, a.FetchRanges(v.Helper, 0)...)
-		prefix = append(prefix, a.FetchRanges(v.RetSite, branch.End())...)
+		prefix = append(prefix, a.FetchRanges(v.Helper, branch.End())...)
 		fallRanges = append(append([]uopcache.Range(nil), prefix...),
 			a.FetchRanges(branch.End(), 0)...)
 	} else {

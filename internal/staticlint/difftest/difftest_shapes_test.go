@@ -217,7 +217,7 @@ func TestIndirectHavocSoundness(t *testing.T) {
 // TestGenerateShapeDeterministic pins the pinned-shape generator the
 // same way TestGenerateDeterministic pins the seed-drawn one.
 func TestGenerateShapeDeterministic(t *testing.T) {
-	for _, shape := range []Shape{ShapeAlign, ShapeSwitch, ShapeIndirect} {
+	for _, shape := range []Shape{ShapeAlign, ShapeSwitch, ShapeIndirect, ShapeIndirectTable, ShapeIndirectMutual} {
 		for _, seed := range []uint64{1, 7, 99} {
 			v1, err := GenerateShape(seed, shape)
 			if err != nil {
@@ -235,7 +235,7 @@ func TestGenerateShapeDeterministic(t *testing.T) {
 			}
 		}
 	}
-	if _, err := GenerateShape(1, ShapeIndirect+1); err == nil {
+	if _, err := GenerateShape(1, ShapeIndirectMutual+1); err == nil {
 		t.Error("out-of-range shape accepted")
 	}
 }
@@ -261,6 +261,218 @@ func FuzzAlignmentDelta(f *testing.F) {
 		d := r.Prediction.TakenCost.AlignStallCycles - r.Prediction.FallCost.AlignStallCycles
 		if d == 0 {
 			t.Errorf("seed %d: alignment victim has no align-stall asymmetry", seed)
+		}
+	})
+}
+
+// TestIndirectTableCorpus holds the table-dispatch victims to the
+// differential contract. Unlike ShapeIndirect's singleton move, the
+// dispatch target here is loaded from a two-slot function-pointer
+// table, so the divergence finding only exists because the value-set
+// resolution proves the complete {hot, decoy} set and joins the hot
+// callee's summary across the call.
+func TestIndirectTableCorpus(t *testing.T) {
+	results, err := RunShapeMany(SeedRange(1, corpusSize), 0, ShapeIndirectTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if err := r.Validate(); err != nil {
+			t.Errorf("%v", err)
+		}
+	}
+	t.Logf("validated %d table-dispatch victims", len(results))
+}
+
+// TestIndirectMutualCorpus holds the mutual-recursion victims to the
+// differential contract: the summary fixpoint must converge over the
+// resolved A → B → A cycle before the callee's branch can be priced.
+func TestIndirectMutualCorpus(t *testing.T) {
+	results, err := RunShapeMany(SeedRange(1, corpusSize), 0, ShapeIndirectMutual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if err := r.Validate(); err != nil {
+			t.Errorf("%v", err)
+		}
+	}
+	t.Logf("validated %d mutual-recursion victims", len(results))
+}
+
+// TestIndirectTableResolution pins the report side of the tentpole on
+// the table shape: exactly one resolved calli whose target set is the
+// complete {hot, decoy} pair, a zero havoc rate against a 1.0
+// before-rate, and a divergence finding at the generated branch whose
+// call chain crosses the resolved indirect frame.
+func TestIndirectTableResolution(t *testing.T) {
+	for seed := uint64(1); seed <= 25; seed++ {
+		v, err := GenerateShape(seed, ShapeIndirectTable)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := staticlint.Lint(v.Prog, Spec(), Config())
+		if len(r.Resolved) != 1 {
+			t.Fatalf("seed %d: %d resolved sites, want 1", seed, len(r.Resolved))
+		}
+		site := r.Resolved[0]
+		if site.Kind != "calli" || !reflect.DeepEqual(site.Targets, []uint64{dispatchBase, dispatchDecoy}) {
+			t.Errorf("seed %d: resolved %s targets %#x, want calli {%#x, %#x}",
+				seed, site.Kind, site.Targets, uint64(dispatchBase), uint64(dispatchDecoy))
+		}
+		p := r.Precision
+		if p == nil || p.IndirectSites != 1 || p.ResolvedSites != 1 || p.HavocSites != 0 ||
+			p.HavocRate != 0 || p.HavocRateBefore != 1 {
+			t.Errorf("seed %d: precision %+v, want 1 indirect site fully resolved", seed, p)
+		}
+		assertChainThroughFrame(t, r, v, site.Addr, seed)
+	}
+}
+
+// TestIndirectMutualResolution pins the report side on the mutual
+// shape: the entry dispatch and both never-executed recursion stubs
+// resolve (three calli sites, zero havoc), and the secret branch
+// inside callee A still traces its chain through the resolved entry
+// frame.
+func TestIndirectMutualResolution(t *testing.T) {
+	for seed := uint64(1); seed <= 25; seed++ {
+		v, err := GenerateShape(seed, ShapeIndirectMutual)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := staticlint.Lint(v.Prog, Spec(), Config())
+		if len(r.Resolved) != 3 {
+			t.Fatalf("seed %d: %d resolved sites, want 3 (entry + two recursion stubs)", seed, len(r.Resolved))
+		}
+		targets := map[uint64]bool{}
+		for _, site := range r.Resolved {
+			if site.Kind != "calli" || len(site.Targets) != 1 {
+				t.Errorf("seed %d: resolved %s targets %#x, want singleton calli", seed, site.Kind, site.Targets)
+				continue
+			}
+			targets[site.Targets[0]] = true
+		}
+		if !targets[mutualABase] || !targets[mutualBBase] {
+			t.Errorf("seed %d: resolved target union %v misses a mutual callee", seed, targets)
+		}
+		p := r.Precision
+		if p == nil || p.IndirectSites != 3 || p.ResolvedSites != 3 || p.HavocRate != 0 {
+			t.Errorf("seed %d: precision %+v, want 3 indirect sites fully resolved", seed, p)
+		}
+		var entrySite uint64
+		for _, site := range r.Resolved {
+			if site.Targets[0] == mutualABase && site.Addr < mutualABase {
+				entrySite = site.Addr
+			}
+		}
+		if entrySite == 0 {
+			t.Fatalf("seed %d: no resolved entry dispatch site", seed)
+		}
+		assertChainThroughFrame(t, r, v, entrySite, seed)
+	}
+}
+
+// assertChainThroughFrame requires the divergence finding at the
+// victim's branch to carry a call chain whose final hop is the
+// resolved indirect frame: call site at callSite, callee at v.Helper.
+func assertChainThroughFrame(t *testing.T, r *staticlint.Report, v *Victim, callSite uint64, seed uint64) {
+	t.Helper()
+	var hit *staticlint.Finding
+	for i, f := range r.ByChecker("dsb-footprint-divergence") {
+		if f.Addr == v.Branch {
+			hit = &r.ByChecker("dsb-footprint-divergence")[i]
+		}
+	}
+	if hit == nil {
+		t.Fatalf("seed %d: no divergence finding at branch %#x through the resolved call", seed, v.Branch)
+	}
+	if len(hit.CallChain) == 0 {
+		t.Fatalf("seed %d: finding at %#x carries no call chain", seed, v.Branch)
+	}
+	last := hit.CallChain[len(hit.CallChain)-1]
+	if last.CallSite != callSite || last.Callee != v.Helper {
+		t.Errorf("seed %d: chain tail %#x→%#x, want resolved frame %#x→%#x",
+			seed, last.CallSite, last.Callee, callSite, v.Helper)
+	}
+}
+
+// TestIndirectBPUCrossCheck closes the loop between the static target
+// sets and the cycle-level predictor: after running a victim with both
+// secret values, every CALLI the BPU trained an indirect target for
+// must predict a member of the statically resolved set at that site —
+// the static set is an over-approximation of everything the hardware
+// predictor ever learns.
+func TestIndirectBPUCrossCheck(t *testing.T) {
+	for _, shape := range []Shape{ShapeIndirectTable, ShapeIndirectMutual} {
+		for seed := uint64(1); seed <= 10; seed++ {
+			v, err := GenerateShape(seed, shape)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := staticlint.Lint(v.Prog, Spec(), Config())
+			static := map[uint64]map[uint64]bool{}
+			for _, site := range r.Resolved {
+				set := map[uint64]bool{}
+				for _, tgt := range site.Targets {
+					set[tgt] = true
+				}
+				static[site.Addr] = set
+			}
+			c := cpu.NewWith(DefaultHarness().cpuCfg, nil)
+			c.LoadProgram(v.Prog)
+			for _, secret := range []int64{0, 1} {
+				c.Mem().Write(SecretAddr, 1, secret)
+				for i := 0; i < 3; i++ {
+					if res := c.Run(0, v.Entry, maxCycles); res.TimedOut {
+						t.Fatalf("%v seed %d: run timed out", shape, seed)
+					}
+				}
+			}
+			trained := 0
+			for _, in := range v.Prog.Insts {
+				set, resolved := static[in.Addr]
+				if !resolved {
+					continue
+				}
+				tgt, ok := c.BPU(0).PredictIndirect(in.Addr)
+				if !ok {
+					continue
+				}
+				trained++
+				if !set[tgt] {
+					t.Errorf("%v seed %d: BPU trained %#x→%#x outside the static set %v",
+						shape, seed, in.Addr, tgt, set)
+				}
+			}
+			if trained == 0 {
+				t.Errorf("%v seed %d: BPU trained no resolved site", shape, seed)
+			}
+		}
+	}
+}
+
+// FuzzIndirectDelta throws random seeds at the two resolution-gated
+// shapes and holds every victim to the acceptance contract — each
+// victim only prices at all because the value-set pass proves its
+// dispatch sites complete, so any resolution regression surfaces as a
+// missing divergence finding before it can skew a delta. The committed
+// corpus pins the seeds that calibrated the dispatch-zone geometry.
+func FuzzIndirectDelta(f *testing.F) {
+	for _, seed := range []uint64{1, 2, 3, 5, 7, 11, 42, 99, 256, 1337} {
+		f.Add(seed, true)
+		f.Add(seed, false)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64, table bool) {
+		shape := ShapeIndirectMutual
+		if table {
+			shape = ShapeIndirectTable
+		}
+		r, err := RunShape(seed, shape)
+		if err != nil {
+			t.Fatalf("%v seed %d: %v", shape, seed, err)
+		}
+		if err := r.Validate(); err != nil {
+			t.Error(err)
 		}
 	})
 }

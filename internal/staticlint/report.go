@@ -145,21 +145,21 @@ type callFrameJSON struct {
 // findingJSON is the stable wire form: addresses rendered as hex
 // strings so goldens stay readable and diffable.
 type findingJSON struct {
-	Checker          string          `json:"checker"`
-	Severity         string          `json:"severity"`
-	Confidence       string          `json:"confidence"`
-	Addr             string          `json:"addr"`
-	Message          string          `json:"message"`
-	Sources          []string        `json:"sources,omitempty"`
-	CallChain        []callFrameJSON `json:"call_chain,omitempty"`
-	Guard            string          `json:"guard,omitempty"`
-	Load             string          `json:"load,omitempty"`
-	Sink             string          `json:"sink,omitempty"`
-	TakenFootprint   []SetOccupancy  `json:"taken_footprint,omitempty"`
-	FallFootprint    []SetOccupancy  `json:"fallthrough_footprint,omitempty"`
-	DivergentSets    []int           `json:"divergent_sets,omitempty"`
-	TakenCost        *PathCost       `json:"taken_cost,omitempty"`
-	FallCost         *PathCost       `json:"fallthrough_cost,omitempty"`
+	Checker           string          `json:"checker"`
+	Severity          string          `json:"severity"`
+	Confidence        string          `json:"confidence"`
+	Addr              string          `json:"addr"`
+	Message           string          `json:"message"`
+	Sources           []string        `json:"sources,omitempty"`
+	CallChain         []callFrameJSON `json:"call_chain,omitempty"`
+	Guard             string          `json:"guard,omitempty"`
+	Load              string          `json:"load,omitempty"`
+	Sink              string          `json:"sink,omitempty"`
+	TakenFootprint    []SetOccupancy  `json:"taken_footprint,omitempty"`
+	FallFootprint     []SetOccupancy  `json:"fallthrough_footprint,omitempty"`
+	DivergentSets     []int           `json:"divergent_sets,omitempty"`
+	TakenCost         *PathCost       `json:"taken_cost,omitempty"`
+	FallCost          *PathCost       `json:"fallthrough_cost,omitempty"`
 	ProbeDeltaCycles  *int            `json:"predicted_probe_delta_cycles,omitempty"`
 	AlignDeltaCycles  *int            `json:"predicted_align_delta_cycles,omitempty"`
 	SwitchDeltaCycles *int            `json:"predicted_switch_delta_cycles,omitempty"`
@@ -274,9 +274,16 @@ func (f Finding) String() string {
 	return b.String()
 }
 
-// Report is the ordered finding list for one program.
+// Report is the ordered finding list for one program, plus the
+// indirect-target resolution results the findings were computed under.
 type Report struct {
 	Findings []Finding `json:"findings"`
+	// Resolved lists the CALLI/JMPI sites the value-set analysis proved
+	// complete target sets for (resolve.go); empty when none resolved.
+	Resolved []ResolvedSite `json:"resolved_targets,omitempty"`
+	// Precision counts indirect sites vs resolved sites (nil when the
+	// program has no indirect dispatch).
+	Precision *Precision `json:"precision,omitempty"`
 }
 
 // sort orders findings deterministically: by address, then checker,
@@ -318,8 +325,10 @@ func (r *Report) MaxSeverity() Severity {
 }
 
 // Filter returns a report keeping findings at or above min severity.
+// Resolution results are analysis facts, not findings, and pass through
+// unfiltered.
 func (r *Report) Filter(min Severity) *Report {
-	out := &Report{}
+	out := &Report{Resolved: r.Resolved, Precision: r.Precision}
 	for _, f := range r.Findings {
 		if f.Severity >= min {
 			out.Findings = append(out.Findings, f)

@@ -1,0 +1,190 @@
+package staticlint
+
+import (
+	"testing"
+
+	"deaduops/internal/asm"
+	"deaduops/internal/isa"
+)
+
+// Tests for the indirect-target resolution pass: value-set tracking
+// through const-prop and bounded table loads, the completeness gate,
+// the summary fixpoint over resolved call edges, and the degrade-to-
+// havoc contract when the flow cap cuts resolution short.
+
+// resolvedMutualProg is mutualProg with every call rewritten into a
+// register-indirect one the value-set pass must resolve: main
+// dispatches through a constant-moved pointer, and ping/pong recurse
+// into each other the same way. Before resolution this program could
+// not exist in the call graph at all — every CALLI degraded to havoc —
+// so the SCC fixpoint over the resolved A → B → A cycle is pinned
+// here, mirroring the direct-call tests' expectations exactly.
+func resolvedMutualProg(target int64) (*asm.Program, uint64) {
+	b := asm.New(0x1000)
+	b.Movi(isa.R1, 3)
+	b.Movi(isa.R6, target)
+	b.Calli(isa.R6)
+	b.Cmpi(isa.R5, 0)
+	branch := b.PC()
+	b.Jcc(isa.NE, "out")
+	b.Label("out")
+	b.Halt()
+	b.Org(0x2000)
+	b.Label("ping")
+	b.Xor(isa.R5, isa.R5)
+	b.Cmpi(isa.R1, 0)
+	b.Jcc(isa.EQ, "ping_out")
+	b.Subi(isa.R1, 1)
+	b.Movi(isa.R7, 0x3000)
+	b.Calli(isa.R7)
+	b.Label("ping_out")
+	b.Ret()
+	b.Org(0x3000)
+	b.Label("pong")
+	b.Cmpi(isa.R1, 0)
+	b.Jcc(isa.EQ, "pong_out")
+	b.Subi(isa.R1, 1)
+	b.Movi(isa.R7, 0x2000)
+	b.Calli(isa.R7)
+	b.Label("pong_out")
+	b.Ret()
+	return b.MustBuild(), branch
+}
+
+func TestResolvedMutualRecursionConverges(t *testing.T) {
+	// Calling ping through the pointer: every path through the resolved
+	// 2-cycle passes ping's xor-self first, so the joined summary kills
+	// R5 and the caller's branch is clean — identical to the direct-call
+	// TestMutualRecursionKillOnEveryPath.
+	ping, _ := resolvedMutualProg(0x2000)
+	r := lintRegs(ping, isa.R5)
+	if fs := r.ByChecker("secret-dependent-branch"); len(fs) != 0 {
+		t.Fatalf("branch flagged despite kill on every resolved path: %v", fs)
+	}
+	if len(r.Resolved) != 3 {
+		t.Fatalf("resolved sites = %d, want 3 (dispatch + both recursion sites)", len(r.Resolved))
+	}
+	if p := r.Precision; p == nil || p.HavocRate != 0 || p.HavocRateBefore != 1 {
+		t.Fatalf("precision = %+v, want fully resolved against a 1.0 before-rate", p)
+	}
+
+	// Calling pong: its early-out returns without reaching ping's kill,
+	// so the may-taint join over the same cycle must keep the finding.
+	pong, branch := resolvedMutualProg(0x3000)
+	r = lintRegs(pong, isa.R5)
+	if fs := r.ByChecker("secret-dependent-branch"); len(fs) != 1 || fs[0].Addr != branch {
+		t.Fatalf("branch findings = %v, want one at %#x (pong's early-out preserves R5)", fs, branch)
+	}
+}
+
+func TestFlowCapDegradesResolvedSitesToHavoc(t *testing.T) {
+	// The same resolvable program under a zeroed flow cap: the value-set
+	// fixpoint is cut short, so resolution must report nothing and every
+	// CALLI must fall back to the sound havoc summary — an
+	// under-approximated target set must never replace havoc.
+	old := flowStepCap
+	flowStepCap = func(int) int { return 0 }
+	defer func() { flowStepCap = old }()
+	prog, _ := resolvedMutualProg(0x3000)
+	a := Analyze(prog, Spec{SecretRegs: []isa.Reg{isa.R5}}, DefaultConfig())
+	if got := a.ResolvedTargets(); len(got) != 0 {
+		t.Fatalf("capped fixpoint still resolved %v", got)
+	}
+	if p := a.PrecisionMetrics(); p == nil || p.HavocSites != p.IndirectSites || p.HavocRate != 1 {
+		t.Fatalf("precision = %+v, want every indirect site havocked", p)
+	}
+	for entry, s := range a.summaries {
+		if !s.havoc {
+			t.Errorf("summary of %#x survived a capped fixpoint: %+v", entry, s)
+		}
+	}
+}
+
+// fuzzTableAddr and fuzzIdxAddr are the fuzz program's data addresses:
+// both sit far from any code so a resolved target can never alias a
+// table slot.
+const (
+	fuzzTableAddr = 0x8000
+	fuzzIdxAddr   = 0x8100
+)
+
+// buildTableProg builds a dispatch through an n-slot function-pointer
+// table (n = mask+1, a power of two): the entry stores stub addresses
+// into every slot, computes a slot address from either a constant or a
+// loaded (statically unknown) index bounded by the mask, loads the
+// pointer, and calls it. Returns the program and the stub entry for
+// each slot.
+func buildTableProg(mask int64, constIdx bool, idx uint8) (*asm.Program, []uint64) {
+	n := int(mask) + 1
+	stubs := make([]uint64, n)
+	b := asm.New(0x1000)
+	b.Xor(isa.R1, isa.R1)
+	for i := 0; i < n; i++ {
+		stubs[i] = uint64(0x4000 + i*0x40)
+		b.Movi(isa.R4, int64(stubs[i]))
+		b.Store(isa.R1, fuzzTableAddr+int64(i)*8, isa.R4)
+	}
+	if constIdx {
+		b.Movi(isa.R5, int64(idx))
+	} else {
+		b.Loadb(isa.R5, isa.R1, fuzzIdxAddr)
+	}
+	b.Andi(isa.R5, mask)
+	b.Shli(isa.R5, 3)
+	b.Addi(isa.R5, fuzzTableAddr)
+	b.Load(isa.R6, isa.R5, 0)
+	b.Calli(isa.R6)
+	b.Halt()
+	for i := 0; i < n; i++ {
+		b.Org(stubs[i])
+		b.Ret()
+	}
+	return b.MustBuild(), stubs
+}
+
+// FuzzIndirectResolve drives random table sizes and index expressions
+// through the resolution pass and holds the completeness invariant:
+// whenever a site is resolved, its target set must contain the slot
+// any concrete in-range index selects — a resolved set that misses a
+// runtime target would silently unsound every joined summary. For
+// these well-formed tables resolution is also required to succeed,
+// with a constant index pinning the singleton slot and a loaded index
+// pinning exactly the mask's reachable slots.
+func FuzzIndirectResolve(f *testing.F) {
+	f.Add(uint8(0), uint8(0), true)
+	f.Add(uint8(0), uint8(0), false)
+	f.Add(uint8(1), uint8(1), true)
+	f.Add(uint8(1), uint8(3), false)
+	f.Add(uint8(2), uint8(2), true)
+	f.Add(uint8(2), uint8(255), false)
+	f.Fuzz(func(t *testing.T, kRaw, idx uint8, constIdx bool) {
+		k := int64(kRaw % 3) // table of 1, 2, or 4 slots
+		mask := int64(1)<<k - 1
+		prog, stubs := buildTableProg(mask, constIdx, idx)
+		a := Analyze(prog, Spec{}, DefaultConfig())
+		sites := a.ResolvedTargets()
+		if len(sites) != 1 {
+			t.Fatalf("mask %#x constIdx=%v: resolved %d sites, want 1", mask, constIdx, len(sites))
+		}
+		got := map[uint64]bool{}
+		for _, tgt := range sites[0].Targets {
+			got[tgt] = true
+		}
+		if constIdx {
+			// Const-prop must pin the single selected slot; a larger set
+			// is still complete but loses the precision this shape pins.
+			want := stubs[int64(idx)&mask]
+			if len(got) != 1 || !got[want] {
+				t.Fatalf("const index %d & %#x: resolved %v, want {%#x}", idx, mask, sites[0].Targets, want)
+			}
+			return
+		}
+		// Loaded index: every in-range slot is reachable, so completeness
+		// demands the set contain each one of them.
+		for i, stub := range stubs {
+			if !got[stub] {
+				t.Fatalf("mask %#x: resolved set %v misses slot %d (%#x)", mask, sites[0].Targets, i, stub)
+			}
+		}
+	})
+}

@@ -189,7 +189,7 @@ func Lint(prog *asm.Program, spec Spec, cfg Config) *Report {
 	if checkers == nil {
 		checkers = AllCheckers()
 	}
-	r := &Report{}
+	r := &Report{Resolved: a.ResolvedTargets(), Precision: a.PrecisionMetrics()}
 	for _, c := range checkers {
 		r.Findings = append(r.Findings, c.Check(a)...)
 	}

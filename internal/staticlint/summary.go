@@ -290,9 +290,18 @@ func (a *Analysis) computeWrites() []uint32 {
 		for fi, f := range a.funcs {
 			for _, cs := range f.Calls {
 				add := uint32(allRegs)
-				if !cs.indirect {
-					if j, ok := a.funcIndex[cs.target]; ok {
-						add = w[j]
+				if tgts := cs.callees(); tgts != nil {
+					// Known callee set (direct, or resolved indirect): the
+					// union of the members' clobbers — unless any member
+					// escapes the function partition.
+					add = 0
+					for _, t := range tgts {
+						if j, ok := a.funcIndex[t]; ok {
+							add |= w[j]
+						} else {
+							add = allRegs
+							break
+						}
 					}
 				}
 				if w[fi]|add != w[fi] {
@@ -400,8 +409,29 @@ func (a *Analysis) succState(b *Block, e Edge, out *State, followCalls bool) *St
 				return nil
 			}
 			return a.applySummary(out, sum)
-		case isa.CALLI, isa.SYSCALL:
-			// Unknown callee (indirect target or kernel): havoc.
+		case isa.CALLI:
+			// A resolved indirect call applies the join of every target's
+			// summary at the return site — any callee in the complete set
+			// may have run. An unresolved site keeps the havoc contract.
+			if ts := a.resolved[last.Addr]; len(ts) > 0 {
+				var post *State
+				for _, t := range ts {
+					sum := a.summaryOf(t)
+					if sum.noReturn {
+						continue
+					}
+					s := a.applySummary(out, sum)
+					if post == nil {
+						post = s
+					} else {
+						post = a.join(post, s)
+					}
+				}
+				return post // nil when every target is noReturn
+			}
+			return a.havocState(out)
+		case isa.SYSCALL:
+			// Kernel crossing: the callee is never statically known.
 			return a.havocState(out)
 		}
 	}

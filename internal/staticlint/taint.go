@@ -180,9 +180,13 @@ type Analysis struct {
 	// Interprocedural layer (callgraph.go / summary.go): the function
 	// partition, per-function taint summaries, and the placeholder
 	// sources summaries are expressed over.
-	funcs      []*Func
-	funcIndex  map[uint64]int // function entry address → funcs index
-	funcOf     []int          // block index → owning funcs index (-1: none)
+	funcs     []*Func
+	funcIndex map[uint64]int // function entry address → funcs index
+	funcOf    []int          // block index → owning funcs index (-1: none)
+	// resolved maps each CALLI/JMPI address the value-set analysis
+	// proved a complete target set for to that set (resolve.go); sites
+	// absent here keep the degrade-to-havoc contract.
+	resolved   map[uint64][]uint64
 	callers    [][]callerRef
 	funcWrites []uint32
 	summaries  map[uint64]*summary
@@ -266,8 +270,16 @@ func (a *Analysis) run() {
 	a.in = make([]*State, n)
 	a.reached = make([]bool, n)
 	if n == 0 {
+		a.resolved = map[uint64][]uint64{}
 		return
 	}
+	// Indirect-target resolution runs first, on the raw CFG: resolved
+	// CALLI/JMPI sites get concrete edges before functions are
+	// partitioned, so everything downstream — entry detection, call
+	// graph SCCs, summaries, the whole-program fixpoint — treats them
+	// like direct transfers.
+	a.resolveIndirect()
+	a.rewriteIndirectEdges()
 	a.buildFuncs()
 	a.allocParams()
 	a.computeSummaries()

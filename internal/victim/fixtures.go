@@ -41,6 +41,12 @@ func Fixtures(l Layout) []Fixture {
 			Layout:      l,
 		},
 		{
+			Name:        "fn-dispatch",
+			Description: "resolvable-dispatch victim: secret branch reached through a program-built function-pointer table",
+			Prog:        buildFnDispatch(l),
+			Layout:      l,
+		},
+		{
 			Name:        "callee-branch",
 			Description: "interprocedural victim: secret branches in callees, passed by register and by spill",
 			Prog:        buildCalleeBranch(l),
@@ -182,6 +188,71 @@ func BuildPCIVPD(l Layout) *asm.Program {
 func buildIndirectCall(l Layout) *asm.Program {
 	b := asm.New(FixtureOrg)
 	IndirectCallVictim(b, l, NoFence)
+	return b.MustBuild()
+}
+
+// DispatchTable is the program-built function-pointer table the
+// fn-dispatch fixture stores its two tag handlers into. Unlike
+// FunTable — whose contents exist only in runtime data memory, so the
+// Listing 5 dispatch stays a havoc site — both slots are written by
+// the program itself, which is what lets the value-set resolution
+// prove the dispatch's complete target set.
+const DispatchTable = 0x1280
+
+// buildFnDispatch assembles the resolvable-dispatch victim the
+// indirect-target resolution gates on: main builds a two-slot handler
+// table at DispatchTable, selects a slot with a loaded, masked public
+// tag, and calls through it. The secret byte rides in a register
+// across the resolved call, and the selected handler branches on it
+// with divergent region footprints (the BuildPCIVPD construction) — so
+// every finding in the handler exists only because resolution joins
+// the handlers' summaries instead of havocking, and each carries a
+// call chain through the resolved indirect frame. The decoy handler
+// never touches the secret.
+func buildFnDispatch(l Layout) *asm.Program {
+	const (
+		handlerOrg = FixtureOrg + 0x400
+		decoyOrg   = FixtureOrg + 0x600
+	)
+	b := asm.New(FixtureOrg)
+	b.Label("main")
+	b.Xor(isa.R2, isa.R2)
+	b.Movi(isa.R4, handlerOrg)
+	b.Store(isa.R2, DispatchTable, isa.R4)
+	b.Movi(isa.R4, decoyOrg)
+	b.Store(isa.R2, DispatchTable+8, isa.R4)
+	b.Loadb(isa.R3, isa.R2, int64(l.SecretBase)) // the secret rides in R3
+	b.Loadb(isa.R5, isa.R2, int64(l.AuthAddr))   // public tag selects the slot
+	b.Andi(isa.R5, 8)
+	b.Addi(isa.R5, DispatchTable)
+	b.Load(isa.R6, isa.R5, 0)
+	b.Calli(isa.R6)
+	b.Halt()
+
+	// fd_handler branches on the secret; its hot path is skewed into
+	// larger, differently mapped regions so the branch directions have
+	// a genuine footprint delta to price.
+	b.Org(handlerOrg)
+	b.Label("fd_handler")
+	b.Cmpi(isa.R3, 0)
+	b.Jcc(isa.NE, "fd_hot")
+	b.Movi(isa.R4, 1)
+	b.Ret()
+	b.Align(64)
+	b.Org(b.PC() + 0x140)
+	b.Label("fd_hot")
+	b.Movi(isa.R4, 2)
+	b.Nop(8)
+	b.Nop(8)
+	b.Nop(8)
+	b.Nop(8)
+	b.Ret()
+
+	// fd_decoy never reads the secret.
+	b.Org(decoyOrg)
+	b.Label("fd_decoy")
+	b.Movi(isa.R4, 3)
+	b.Ret()
 	return b.MustBuild()
 }
 
