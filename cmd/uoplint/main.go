@@ -116,6 +116,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	spec := victimSpec(lay)
 
+	// The -fail-on gate is evaluated against every finding the analysis
+	// produces, BEFORE the -severity display filter: the exit code is a
+	// CI contract and must not depend on what the report chose to show
+	// (`-severity error -fail-on warning` still fails on warnings).
+	gateTripped := false
+	lint := func(r *staticlint.Report) *staticlint.Report {
+		if gate >= 0 {
+			for _, f := range r.Findings {
+				if f.Severity >= gate {
+					gateTripped = true
+				}
+			}
+		}
+		return r.Filter(min)
+	}
+
 	var reports []programReport
 	matched := false
 	for _, fx := range victim.Fixtures(lay) {
@@ -123,7 +139,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			continue
 		}
 		matched = true
-		r := staticlint.Lint(fx.Prog, spec, cfg).Filter(min)
+		r := lint(staticlint.Lint(fx.Prog, spec, cfg))
 		reports = append(reports, programReport{
 			Program:     fx.Name,
 			Description: fx.Description,
@@ -146,7 +162,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			continue
 		}
 		matched = true
-		r := staticlint.Lint(ap.prog, staticlint.Spec{}, cfg).Filter(min)
+		r := lint(staticlint.Lint(ap.prog, staticlint.Spec{}, cfg))
 		reports = append(reports, programReport{
 			Program:     ap.name,
 			Description: ap.desc,
@@ -170,7 +186,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
-		r := staticlint.Lint(p, staticlint.Spec{}, cfg).Filter(min)
+		r := lint(staticlint.Lint(p, staticlint.Spec{}, cfg))
 		reports = append(reports, programReport{
 			Program:   fmt.Sprintf("random-%d", seed),
 			Profile:   profTag,
@@ -181,17 +197,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	// The -fail-on gate: a clean run exits 0, any finding at or above
-	// the threshold turns the exit code into 1 after the full report is
-	// emitted — the shape CI pipelines consume.
+	// the threshold (display-filtered or not) turns the exit code into 1
+	// after the full report is emitted — the shape CI pipelines consume.
 	exit := 0
-	if gate >= 0 {
-		for _, pr := range reports {
-			for _, f := range pr.Findings {
-				if f.Severity >= gate {
-					exit = 1
-				}
-			}
-		}
+	if gateTripped {
+		exit = 1
 	}
 
 	if *selftest {

@@ -483,11 +483,31 @@ func TestFailOnFlag(t *testing.T) {
 		t.Errorf("clean fixture -fail-on warning exit = %d, want 0 (%s)", code, errb.String())
 	}
 
-	// The gate must respect the -severity filter: error-severity
-	// findings survive filtering, so the gate still trips.
+	// The gate must be independent of the -severity display filter:
+	// error-severity findings survive filtering and still trip it...
 	if code := run([]string{"-json", "-fixture", "pci-vpd", "-severity", "error", "-fail-on", "warning"},
 		&out, &errb); code != 1 {
 		t.Errorf("filtered pci-vpd -fail-on warning exit = %d, want 1", code)
+	}
+
+	// ...and findings the display filter hides must trip it too: the
+	// exit code is a CI contract over what the analysis found, not over
+	// what the report chose to show. indirect-call's spectre-v1-gadget
+	// finding is warning severity, so `-severity error` empties the
+	// displayed report while `-fail-on warning` must still fail.
+	out.Reset()
+	if code := run([]string{"-json", "-fixture", "indirect-call", "-checkers", "spectre-v1-gadget",
+		"-severity", "error", "-fail-on", "warning"}, &out, &errb); code != 1 {
+		t.Errorf("display-filtered warning -fail-on warning exit = %d, want 1", code)
+	}
+	var filtered struct {
+		Findings []json.RawMessage `json:"findings"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &filtered); err != nil {
+		t.Fatalf("decoding filtered report: %v", err)
+	}
+	if len(filtered.Findings) != 0 {
+		t.Errorf("displayed findings = %d, want 0 (the gate, not the filter, carries the warning)", len(filtered.Findings))
 	}
 
 	errb.Reset()

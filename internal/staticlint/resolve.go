@@ -137,8 +137,13 @@ func vsMask(x vset, mask uint64) vset {
 	if !x.top {
 		return vsFold(isa.AND, x, vsConst(mask))
 	}
+	// Guard on the popcount itself, not on 1<<n: for wide masks the
+	// shift overflows int (n=63 goes negative, n=64 wraps to zero), so
+	// the size check would pass and the enumeration below would panic
+	// on makeslice or walk up to 2^64 submasks. Imm is a full int64, so
+	// masks like -1 and -2 are reachable from any user program.
 	n := bits.OnesCount64(mask)
-	if 1<<uint(n) > maxVSetSize {
+	if n >= bits.Len(uint(maxVSetSize)) {
 		return vsTop
 	}
 	out := make([]uint64, 0, 1<<uint(n))
@@ -259,10 +264,10 @@ func (a *Analysis) vsaStep(st *vsaState, in *isa.Inst) {
 		// cycle counter is unknown by definition.
 		st.regs[d] = vsTop
 	case isa.STORE:
-		a.vsaStore(st, st.regs[s], in.Imm, st.regs[d])
+		a.vsaStore(st, st.regs[s], in.Imm, st.regs[d], 8)
 	case isa.STOREB:
-		// Partial overwrite: the touched cell's tracked value dies.
-		a.vsaStore(st, st.regs[s], in.Imm, vsTop)
+		// Partial overwrite: every touched cell's tracked value dies.
+		a.vsaStore(st, st.regs[s], in.Imm, vsTop, 1)
 	case isa.CALL, isa.CALLI, isa.SYSCALL:
 		// The return-address push writes through the (untracked) stack
 		// pointer: conservatively, any tracked cell may be gone. The
@@ -304,16 +309,35 @@ func (a *Analysis) vsaLoad(st *vsaState, in *isa.Inst) vset {
 	return out
 }
 
-// vsaStore evaluates a store of val through base+imm: strong update at
-// a singleton address, weak update over a bounded set, memory poison
-// when the address is unbounded.
-func (a *Analysis) vsaStore(st *vsaState, base vset, imm int64, val vset) {
+// vsaStore evaluates a width-byte store of val through base+imm:
+// strong update at a singleton address, weak update over a bounded
+// set, memory poison when the address is unbounded. Tracked cells are
+// 8-byte values, so a store of bytes [addr, addr+width) concretely
+// rewrites part of every cell whose extent [c, c+8) overlaps that
+// range — each such cell's tracked value is stale and must die, not
+// just the cell keyed at the exact store address. The one exception is
+// the cell exactly at addr under a full-width store: it is completely
+// overwritten and receives the stored value below.
+func (a *Analysis) vsaStore(st *vsaState, base vset, imm int64, val vset, width uint64) {
 	if st.memTop {
 		return
 	}
 	addrs, ok := vsaAddrs(base, imm)
 	if !ok {
 		st.poisonMem()
+		return
+	}
+	for _, addr := range addrs {
+		for c := addr - 7; c != addr+width; c++ {
+			if width == 8 && c == addr {
+				continue
+			}
+			delete(st.mem, c)
+		}
+	}
+	if width < 8 {
+		// A partial store leaves no fully-overwritten cell to track; the
+		// loop above already killed everything it touched.
 		return
 	}
 	if len(addrs) == 1 {
@@ -323,6 +347,9 @@ func (a *Analysis) vsaStore(st *vsaState, base vset, imm int64, val vset) {
 			st.mem[addrs[0]] = val
 		}
 	} else {
+		// Weak update: the store hit exactly one of addrs. A cell at one
+		// of them that survived the invalidation loop (no *other* written
+		// address overlaps it) is either unchanged or holds val.
 		for _, addr := range addrs {
 			if cell, tracked := st.mem[addr]; tracked {
 				if j := vsJoin(cell, val); !j.top {

@@ -108,6 +108,108 @@ const (
 	fuzzIdxAddr   = 0x8100
 )
 
+func TestWideMaskSaturatesToTop(t *testing.T) {
+	// AND with a wide immediate on an unknown register must saturate to
+	// TOP: the old guard computed 1<<popcount, which overflows int at
+	// popcount 63 (`and rX, -2` — the guard goes negative, the makeslice
+	// panics) and wraps to zero at 64 (`and rX, -1` — the submask walk
+	// enumerates 2^64 entries). Imm is a full int64, so both masks are
+	// reachable from any user-supplied program.
+	for _, mask := range []uint64{^uint64(0), ^uint64(1), 1<<63 - 1, 0xFFFF, 0x1F} {
+		if got := vsMask(vsTop, mask); !got.top {
+			t.Errorf("vsMask(TOP, %#x) = %v, want TOP", mask, got)
+		}
+	}
+	// The widest enumerable mask still enumerates: 4 bits = all 16
+	// submasks, exactly maxVSetSize.
+	if got := vsMask(vsTop, 0xF); got.top || len(got.vals) != 16 {
+		t.Errorf("vsMask(TOP, 0xF) = %+v, want the 16 submasks", got)
+	}
+}
+
+func TestWideMaskDispatchDegradesToHavoc(t *testing.T) {
+	// End-to-end form of the same bug: a dispatch index "bounded" by a
+	// 63-bit mask must leave the site unresolved (havoc), and the
+	// analysis must terminate rather than panic or hang in vsMask.
+	b := asm.New(0x1000)
+	b.Xor(isa.R1, isa.R1)
+	b.Movi(isa.R4, 0x4000)
+	b.Store(isa.R1, fuzzTableAddr, isa.R4)
+	b.Loadb(isa.R5, isa.R1, fuzzIdxAddr)
+	b.Andi(isa.R5, -2)
+	b.Addi(isa.R5, fuzzTableAddr)
+	b.Load(isa.R6, isa.R5, 0)
+	b.Calli(isa.R6)
+	b.Halt()
+	b.Org(0x4000)
+	b.Ret()
+	a := Analyze(b.MustBuild(), Spec{}, DefaultConfig())
+	if got := a.ResolvedTargets(); len(got) != 0 {
+		t.Fatalf("63-bit mask dispatch resolved %v, want havoc", got)
+	}
+}
+
+// TestOverlappingStoreInvalidatesTrackedCells pins the soundness hole
+// the review found: tracked cells are 8-byte values keyed by exact
+// address, but a store overlapping a cell's extent concretely rewrites
+// part of it. If only the exact-address cell were invalidated, a later
+// LOAD at the original address would return the stale value set and a
+// CALLI could be "resolved" to a complete-looking set missing the real
+// runtime target. Any overlapping STORE (±7 bytes) or STOREB (within
+// the 8-byte extent) must kill the cell and degrade the site to havoc.
+func TestOverlappingStoreInvalidatesTrackedCells(t *testing.T) {
+	build := func(clobber func(b *asm.Builder)) *asm.Program {
+		b := asm.New(0x1000)
+		b.Xor(isa.R1, isa.R1)
+		b.Movi(isa.R4, 0x4000)
+		b.Store(isa.R1, fuzzTableAddr, isa.R4) // tracked cell [0x8000,0x8008)
+		if clobber != nil {
+			b.Movi(isa.R7, 0x123456)
+			clobber(b)
+		}
+		b.Load(isa.R6, isa.R1, fuzzTableAddr)
+		b.Calli(isa.R6)
+		b.Halt()
+		b.Org(0x4000)
+		b.Ret()
+		return b.MustBuild()
+	}
+	resolved := func(p *asm.Program) int {
+		return len(Analyze(p, Spec{}, DefaultConfig()).ResolvedTargets())
+	}
+
+	// Control: the untouched table resolves, and stores adjacent to the
+	// cell without overlapping it ([0x7FF8,0x8000) and [0x8008,0x8010))
+	// must not over-invalidate.
+	if got := resolved(build(nil)); got != 1 {
+		t.Fatalf("untouched table: resolved %d sites, want 1", got)
+	}
+	for _, off := range []int64{-8, 8} {
+		p := build(func(b *asm.Builder) { b.Store(isa.R1, fuzzTableAddr+off, isa.R7) })
+		if got := resolved(p); got != 1 {
+			t.Errorf("non-overlapping store at slot%+d: resolved %d sites, want 1", off, got)
+		}
+	}
+
+	// Every overlapping clobber must kill resolution.
+	overlaps := []struct {
+		name    string
+		clobber func(b *asm.Builder)
+	}{
+		{"store one byte above", func(b *asm.Builder) { b.Store(isa.R1, fuzzTableAddr+1, isa.R7) }},
+		{"store seven above", func(b *asm.Builder) { b.Store(isa.R1, fuzzTableAddr+7, isa.R7) }},
+		{"store one byte below", func(b *asm.Builder) { b.Store(isa.R1, fuzzTableAddr-1, isa.R7) }},
+		{"store seven below", func(b *asm.Builder) { b.Store(isa.R1, fuzzTableAddr-7, isa.R7) }},
+		{"storeb first byte", func(b *asm.Builder) { b.Storeb(isa.R1, fuzzTableAddr, isa.R7) }},
+		{"storeb last byte", func(b *asm.Builder) { b.Storeb(isa.R1, fuzzTableAddr+7, isa.R7) }},
+	}
+	for _, tc := range overlaps {
+		if got := resolved(build(tc.clobber)); got != 0 {
+			t.Errorf("%s: site still resolved against the stale cell, want havoc", tc.name)
+		}
+	}
+}
+
 // buildTableProg builds a dispatch through an n-slot function-pointer
 // table (n = mask+1, a power of two): the entry stores stub addresses
 // into every slot, computes a slot address from either a constant or a
