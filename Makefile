@@ -4,7 +4,7 @@ GO ?= go
 # for a real fuzzing session (e.g. make fuzz FUZZTIME=10m).
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet lint fuzz check bench-json
+.PHONY: build test race vet lint serve fuzz check bench-json
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,13 @@ vet:
 # expectations (exit 1 on mismatch).
 lint:
 	$(GO) run ./cmd/uoplint -selftest
+
+# serve boots the long-lived leakage-audit daemon: the same analysis as
+# `make lint` behind HTTP/JSON with an incremental per-function summary
+# cache, so repeat audits only re-analyze what changed. See the
+# "Incremental audit service" section of DESIGN.md.
+serve:
+	$(GO) run ./cmd/uoplintd
 
 # bench-json snapshots the benchmark suite as BENCH_<date>.json via
 # cmd/benchjson: one record per benchmark with ns/op, allocs/op, and

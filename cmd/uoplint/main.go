@@ -15,6 +15,7 @@
 //	uoplint -fail-on warning exit 1 when findings at/above a severity exist
 //	uoplint -checkers a,b    run only the named checkers (default all)
 //	uoplint -random 20       also lint 20 random programs
+//	uoplint -workers 4       dispatch the batch over 4 lint workers
 //	uoplint -profile zen     lint under a registered front-end profile
 //	uoplint -selftest        assert the canonical expectations (CI gate)
 package main
@@ -27,30 +28,17 @@ import (
 	"os"
 	"strings"
 
-	"deaduops/internal/asm"
-	"deaduops/internal/attack"
+	"deaduops/internal/auditd"
+	"deaduops/internal/parsweep"
 	"deaduops/internal/profile"
-	"deaduops/internal/ref"
 	"deaduops/internal/staticlint"
 	"deaduops/internal/victim"
 )
 
-// programReport is the JSON wire form for one linted program. Profile
-// names the front-end profile the program was linted under; it is
-// omitted for the default profile so the historical golden files stay
-// byte-stable.
-type programReport struct {
-	Program     string               `json:"program"`
-	Description string               `json:"description,omitempty"`
-	Profile     string               `json:"profile,omitempty"`
-	Findings    []staticlint.Finding `json:"findings"`
-	// Resolved and Precision carry the indirect-target resolution's
-	// output: the CALLI/JMPI sites proven complete and the program's
-	// havoc-rate metrics. Both are omitted for programs with no
-	// indirect control flow, keeping the historical goldens byte-stable.
-	Resolved  []staticlint.ResolvedSite `json:"resolved_targets,omitempty"`
-	Precision *staticlint.Precision     `json:"precision,omitempty"`
-}
+// programReport is the JSON wire form for one linted program, shared
+// with the audit service (internal/auditd) so a CLI run and a daemon
+// response are interchangeable artifacts.
+type programReport = auditd.ProgramReport
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -67,6 +55,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		selftest = fs.Bool("selftest", false, "assert canonical victim expectations and exit nonzero on mismatch")
 		failOn   = fs.String("fail-on", "", "exit 1 when findings at/above this severity exist (info|warning|error)")
 		checkers = fs.String("checkers", "", "comma-separated checker names to run (default: all)")
+		workers  = fs.Int("workers", 0, "parallel lint workers (0 = GOMAXPROCS, 1 = sequential)")
 		profName = fs.String("profile", profile.Default().Name,
 			"front-end profile to lint under ("+strings.Join(profile.Names(), "|")+")")
 	)
@@ -114,86 +103,88 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		cfg.Checkers = sel
 	}
-	spec := victimSpec(lay)
-
-	// The -fail-on gate is evaluated against every finding the analysis
-	// produces, BEFORE the -severity display filter: the exit code is a
-	// CI contract and must not depend on what the report chose to show
-	// (`-severity error -fail-on warning` still fails on warnings).
-	gateTripped := false
-	lint := func(r *staticlint.Report) *staticlint.Report {
-		if gate >= 0 {
-			for _, f := range r.Findings {
-				if f.Severity >= gate {
-					gateTripped = true
-				}
-			}
-		}
-		return r.Filter(min)
-	}
-
-	var reports []programReport
-	matched := false
-	for _, fx := range victim.Fixtures(lay) {
-		if *fixture != "" && fx.Name != *fixture {
-			continue
-		}
-		matched = true
-		r := lint(staticlint.Lint(fx.Prog, spec, cfg))
-		reports = append(reports, programReport{
-			Program:     fx.Name,
-			Description: fx.Description,
-			Profile:     profTag,
-			Findings:    r.Findings,
-			Resolved:    r.Resolved,
-			Precision:   r.Precision,
-		})
-	}
-	// The codegen-emitted attack probes are linted alongside the victim
-	// fixtures: tigers and zebras carry no secrets, so a finding on one
-	// would be a checker false positive — the selftest pins them clean.
-	probes, err := attackPrograms()
+	// The corpus is shared with the audit service: victim fixtures under
+	// the victim spec, then the codegen-emitted attack probes (which
+	// carry no secrets — a finding on one would be a checker false
+	// positive the selftest pins clean).
+	corpus, err := auditd.Corpus(lay)
 	if err != nil {
-		fmt.Fprintln(stderr, err)
+		fmt.Fprintln(stderr, "uoplint:", err)
 		return 1
 	}
-	for _, ap := range probes {
-		if *fixture != "" && ap.name != *fixture {
+	var programs []auditd.Program
+	matched := false
+	for _, p := range corpus {
+		if *fixture != "" && p.Name != *fixture {
 			continue
 		}
 		matched = true
-		r := lint(staticlint.Lint(ap.prog, staticlint.Spec{}, cfg))
-		reports = append(reports, programReport{
-			Program:     ap.name,
-			Description: ap.desc,
-			Profile:     profTag,
-			Findings:    r.Findings,
-			Resolved:    r.Resolved,
-			Precision:   r.Precision,
-		})
+		programs = append(programs, p)
 	}
 	if *fixture != "" && !matched {
 		fmt.Fprintf(stderr, "uoplint: unknown fixture %q\n", *fixture)
 		return 2
 	}
-
 	// Random programs carry no declared secrets; only the transient
 	// gadget checkers can fire on them.
-	genCfg := ref.DefaultGenConfig()
-	for seed := 1; seed <= *random; seed++ {
-		p, err := ref.Generate(uint64(seed), genCfg)
+	if *random > 0 {
+		randoms, err := auditd.RandomPrograms(*random)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
-		r := lint(staticlint.Lint(p, staticlint.Spec{}, cfg))
-		reports = append(reports, programReport{
-			Program:   fmt.Sprintf("random-%d", seed),
-			Profile:   profTag,
-			Findings:  r.Findings,
-			Resolved:  r.Resolved,
-			Precision: r.Precision,
+		programs = append(programs, randoms...)
+	}
+
+	// The batch is dispatched over a worker pool with one shared
+	// incremental cache, so programs with common functions (the random
+	// population especially) reuse each other's summaries. parsweep.Map
+	// returns results in input order, making the report byte-identical
+	// at any worker count.
+	//
+	// The -fail-on gate is evaluated against every finding the analysis
+	// produces, BEFORE the -severity display filter: the exit code is a
+	// CI contract and must not depend on what the report chose to show
+	// (`-severity error -fail-on warning` still fails on warnings).
+	cache := staticlint.NewCache()
+	type lintResult struct {
+		report  programReport
+		tripped bool
+	}
+	results, err := parsweep.Map(parsweep.Options{Workers: *workers}, len(programs),
+		func(i int) (lintResult, error) {
+			p := programs[i]
+			r, _ := staticlint.LintCached(p.Prog, p.Spec, cfg, cache)
+			tripped := false
+			if gate >= 0 {
+				for _, f := range r.Findings {
+					if f.Severity >= gate {
+						tripped = true
+					}
+				}
+			}
+			r = r.Filter(min)
+			return lintResult{
+				report: programReport{
+					Program:     p.Name,
+					Description: p.Description,
+					Profile:     profTag,
+					Findings:    r.Findings,
+					Resolved:    r.Resolved,
+					Precision:   r.Precision,
+				},
+				tripped: tripped,
+			}, nil
 		})
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	gateTripped := false
+	reports := make([]programReport, len(results))
+	for i, res := range results {
+		reports[i] = res.report
+		gateTripped = gateTripped || res.tripped
 	}
 
 	// The -fail-on gate: a clean run exits 0, any finding at or above
@@ -265,55 +256,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "\n%d findings across %d programs\n", total, len(reports))
 	return exit
-}
-
-// attackProgram is one codegen-emitted probe routine to lint.
-type attackProgram struct {
-	name, desc string
-	prog       *asm.Program
-}
-
-// attackPrograms builds the three §IV probe flavours — tiger, fast
-// tiger, zebra — exactly as the dynamic attack code does
-// (internal/attack on internal/codegen chains). They hold no secrets
-// and no secret-dependent control flow, so every checker must stay
-// silent on them; CI asserts that through the selftest.
-func attackPrograms() ([]attackProgram, error) {
-	g := attack.DefaultGeometry()
-	specs := []struct {
-		name, desc string
-		build      func() (*attack.Routine, error)
-	}{
-		{"attack-tiger", "codegen tiger probe (LCP-padded prime+probe receiver)",
-			func() (*attack.Routine, error) { return attack.Build(attack.Tiger(0x40000, g, "tiger")) }},
-		{"attack-fasttiger", "codegen fast-tiger probe (dense low-latency receiver)",
-			func() (*attack.Routine, error) { return attack.Build(attack.FastTiger(0x40000, g, "fasttiger")) }},
-		{"attack-zebra", "codegen zebra probe (alternate-set occupancy pattern)",
-			func() (*attack.Routine, error) { return attack.Build(attack.Zebra(0x40000, g, "zebra")) }},
-	}
-	var out []attackProgram
-	for _, s := range specs {
-		r, err := s.build()
-		if err != nil {
-			return nil, fmt.Errorf("uoplint: building %s: %w", s.name, err)
-		}
-		out = append(out, attackProgram{name: s.name, desc: s.desc, prog: r.Prog})
-	}
-	return out, nil
-}
-
-// victimSpec declares the secrets of the shared victim layout: the
-// kernel secret array and the second secret word. The ABI constant
-// "R2 = 0" is deliberately NOT declared — uoplint models the victim as
-// callable with arbitrary registers, so loads whose address depends on
-// an unresolved register are reported at may confidence.
-func victimSpec(l victim.Layout) staticlint.Spec {
-	return staticlint.Spec{
-		SecretRanges: []staticlint.MemRange{
-			{Start: l.SecretBase, End: l.SecretBase + uint64(l.ArrayLen)},
-			{Start: l.Secret2Addr, End: l.Secret2Addr + 8},
-		},
-	}
 }
 
 // selfTest checks the canonical expectations the paper's examples fix:

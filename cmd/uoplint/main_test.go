@@ -637,3 +637,23 @@ func TestCheckersFlag(t *testing.T) {
 		t.Errorf("unknown-checker error = %q", errOut.String())
 	}
 }
+
+// TestWorkersDeterministic pins the parallel batch contract: the full
+// JSON report — corpus plus a random population — is byte-identical
+// whether linted sequentially or across four workers sharing one
+// incremental cache.
+func TestWorkersDeterministic(t *testing.T) {
+	runWith := func(workers string) []byte {
+		var out, errb bytes.Buffer
+		args := []string{"-json", "-random", "12", "-workers", workers}
+		if code := run(args, &out, &errb); code != 0 {
+			t.Fatalf("-workers %s exited %d: %s", workers, code, errb.String())
+		}
+		return out.Bytes()
+	}
+	seq := runWith("1")
+	par := runWith("4")
+	if !bytes.Equal(seq, par) {
+		t.Fatal("parallel report diverges from sequential report")
+	}
+}

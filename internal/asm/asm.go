@@ -59,6 +59,25 @@ func (p *Program) LabelAt(addr uint64) string {
 // Size returns the number of instructions in the program.
 func (p *Program) Size() int { return len(p.Insts) }
 
+// LabelBinding is one label → address binding of an assembled program.
+type LabelBinding struct {
+	Name string
+	Addr uint64
+}
+
+// Labels returns every label binding sorted by name — the canonical
+// enumeration callers hashing or rendering a whole program need (labels
+// reach findings through LabelAt, so two programs differing only in a
+// label are distinct program content).
+func (p *Program) Labels() []LabelBinding {
+	out := make([]LabelBinding, 0, len(p.labels))
+	for name, addr := range p.labels {
+		out = append(out, LabelBinding{Name: name, Addr: addr})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // fixup records a pending branch-target resolution.
 type fixup struct {
 	inst  *isa.Inst

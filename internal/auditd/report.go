@@ -1,0 +1,20 @@
+package auditd
+
+import "deaduops/internal/staticlint"
+
+// ProgramReport is the JSON wire form for one linted program —
+// byte-identical to the form cmd/uoplint has always emitted, so a
+// service response and a CLI run are interchangeable artifacts.
+// Profile names the front-end profile the program was linted under; it
+// is omitted for the default profile so the historical golden files
+// stay byte-stable. Resolved and Precision carry the indirect-target
+// resolution's output and are omitted for programs with no indirect
+// control flow, for the same reason.
+type ProgramReport struct {
+	Program     string                    `json:"program"`
+	Description string                    `json:"description,omitempty"`
+	Profile     string                    `json:"profile,omitempty"`
+	Findings    []staticlint.Finding      `json:"findings"`
+	Resolved    []staticlint.ResolvedSite `json:"resolved_targets,omitempty"`
+	Precision   *staticlint.Precision     `json:"precision,omitempty"`
+}

@@ -15,9 +15,46 @@ package parsweep
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError is the typed value a pool re-raises when a worker
+// goroutine panics: the original panic payload survives intact (so a
+// recovering caller can inspect or re-throw the genuine value instead
+// of a flattened string) and Stack carries the panicking worker's
+// stack, captured at the recovery point — the frames the re-raise on
+// the calling goroutine would otherwise destroy.
+type PanicError struct {
+	// Value is the worker's original panic payload, unmodified.
+	Value any
+	// Stack is the worker goroutine's stack at recovery
+	// (runtime/debug.Stack), including the panicking frames.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parsweep: worker panicked: %v", e.Value)
+}
+
+// Unwrap exposes an error payload to errors.Is/As chains.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// wrapPanic normalizes a recovered value into a *PanicError, passing an
+// already-wrapped panic (a nested pool) through untouched.
+func wrapPanic(v any) *PanicError {
+	if pe, ok := v.(*PanicError); ok {
+		return pe
+	}
+	return &PanicError{Value: v, Stack: debug.Stack()}
+}
 
 // Options tunes a parallel map.
 type Options struct {
@@ -105,10 +142,13 @@ func mapWorker[S, T any](opt Options, n int, setup func() S, fn func(s S, i int)
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
+					// Wrap at the recovery point, while the worker's stack
+					// still exists: the re-raise below happens on the calling
+					// goroutine, whose stack says nothing about the fault.
 					failed.Store(true)
 					mu.Lock()
 					if !panhit {
-						panhit, panicV = true, p
+						panhit, panicV = true, wrapPanic(p)
 					}
 					mu.Unlock()
 				}
@@ -130,7 +170,9 @@ func mapWorker[S, T any](opt Options, n int, setup func() S, fn func(s S, i int)
 	}
 	wg.Wait()
 	if panhit {
-		panic(fmt.Sprintf("parsweep: worker panicked: %v", panicV))
+		// Re-raise the typed wrapper, not a formatted string: the original
+		// payload's type and the worker's stack stay recoverable.
+		panic(panicV)
 	}
 	if firstE != nil {
 		return nil, firstE

@@ -167,3 +167,142 @@ func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
 		}
 	}
 }
+
+// errPayload is a distinguishable panic payload type: the re-raise
+// must preserve it intact, not flatten it into a string.
+type errPayload struct{ code int }
+
+// TestMapWorkerPanicPreservesValue checks that the re-raised panic is a
+// *PanicError wrapping the worker's original payload by value and
+// carrying the worker goroutine's stack — the frames that name the
+// faulting function, which a plain re-panic on the caller's goroutine
+// would have lost.
+func TestMapWorkerPanicPreservesValue(t *testing.T) {
+	original := errPayload{code: 42}
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("expected panic to propagate")
+		}
+		pe, ok := p.(*PanicError)
+		if !ok {
+			t.Fatalf("re-raised panic is %T, want *PanicError", p)
+		}
+		got, ok := pe.Value.(errPayload)
+		if !ok || got != original {
+			t.Fatalf("payload = %#v (%T), want original %#v", pe.Value, pe.Value, original)
+		}
+		if !strings.Contains(string(pe.Stack), "explodingPoint") {
+			t.Fatalf("captured stack does not name the faulting function:\n%s", pe.Stack)
+		}
+	}()
+	_, _ = Map(Options{Workers: 4}, 16, func(i int) (int, error) {
+		if i == 5 {
+			explodingPoint(original)
+		}
+		return i, nil
+	})
+}
+
+//go:noinline
+func explodingPoint(v errPayload) { panic(v) }
+
+// TestMapWorkerPanicUnwrapsError checks errors.As/Is reach an error
+// payload through the wrapper.
+func TestMapWorkerPanicUnwrapsError(t *testing.T) {
+	sentinel := errors.New("worker exploded")
+	defer func() {
+		p := recover()
+		pe, ok := p.(*PanicError)
+		if !ok {
+			t.Fatalf("re-raised panic is %T, want *PanicError", p)
+		}
+		if !errors.Is(pe, sentinel) {
+			t.Fatalf("errors.Is(%v, sentinel) = false", pe)
+		}
+	}()
+	_, _ = Map(Options{Workers: 2}, 4, func(i int) (int, error) {
+		if i == 1 {
+			panic(sentinel)
+		}
+		return i, nil
+	})
+}
+
+// TestPoolRunsJobs checks basic dispatch: every submitted job runs
+// exactly once and Close drains the queue before returning.
+func TestPoolRunsJobs(t *testing.T) {
+	p := NewPool(4, 64)
+	var ran atomic.Int64
+	for i := 0; i < 50; i++ {
+		if !p.TrySubmit(func() { ran.Add(1) }) {
+			t.Fatalf("submission %d rejected with capacity to spare", i)
+		}
+	}
+	p.Close()
+	if got := ran.Load(); got != 50 {
+		t.Fatalf("ran %d jobs, want 50", got)
+	}
+}
+
+// TestPoolBackpressure checks the bounded-queue contract: submissions
+// past the queue capacity are rejected, not buffered.
+func TestPoolBackpressure(t *testing.T) {
+	p := NewPool(1, 2)
+	block := make(chan struct{})
+	release := func() { close(block) }
+	defer p.Close()
+	defer release()
+	if !p.TrySubmit(func() { <-block }) {
+		t.Fatal("first submission rejected")
+	}
+	// The worker is now parked on the blocking job; fill the queue.
+	accepted := 0
+	for i := 0; i < 10; i++ {
+		if p.TrySubmit(func() { <-block }) {
+			accepted++
+		}
+	}
+	if accepted > 2 {
+		t.Fatalf("queue of 2 accepted %d pending jobs", accepted)
+	}
+	if d := p.QueueDepth(); d == 0 {
+		t.Fatal("queue depth 0 with pending jobs")
+	}
+	if p.TrySubmit(func() {}) {
+		t.Fatal("full queue accepted another job")
+	}
+}
+
+// TestPoolSurvivesJobPanic checks a panicking job is contained: the
+// worker reports it through OnPanic and keeps serving later jobs.
+func TestPoolSurvivesJobPanic(t *testing.T) {
+	p := NewPool(1, 8)
+	var caught atomic.Pointer[PanicError]
+	p.OnPanic = func(pe *PanicError) { caught.Store(pe) }
+	if !p.TrySubmit(func() { panic("job exploded") }) {
+		t.Fatal("submission rejected")
+	}
+	done := make(chan struct{})
+	if !p.TrySubmit(func() { close(done) }) {
+		t.Fatal("follow-up submission rejected")
+	}
+	<-done
+	p.Close()
+	pe := caught.Load()
+	if pe == nil {
+		t.Fatal("OnPanic never observed the job panic")
+	}
+	if v, ok := pe.Value.(string); !ok || v != "job exploded" {
+		t.Fatalf("OnPanic payload = %#v, want original string", pe.Value)
+	}
+}
+
+// TestPoolClosedRejects checks submissions after Close are refused.
+func TestPoolClosedRejects(t *testing.T) {
+	p := NewPool(2, 4)
+	p.Close()
+	if p.TrySubmit(func() {}) {
+		t.Fatal("closed pool accepted a job")
+	}
+}

@@ -1,6 +1,7 @@
 package staticlint
 
 import (
+	"strings"
 	"testing"
 
 	"deaduops/internal/asm"
@@ -177,5 +178,27 @@ func TestSelectCheckers(t *testing.T) {
 	all, err := SelectCheckers([]string{})
 	if err != nil || len(all) != 0 {
 		t.Fatalf("empty selection: %v, %v", all, err)
+	}
+}
+
+// TestSelectCheckersMultiUnknownDeterministic pins the multi-unknown
+// error contract: every unknown name is reported, sorted, in one error
+// — not whichever single name a map iteration happened to yield first.
+func TestSelectCheckersMultiUnknownDeterministic(t *testing.T) {
+	names := []string{"zzz-bogus", "secret-dependent-branch", "aaa-bogus", "mmm-bogus"}
+	want := `staticlint: unknown checkers "aaa-bogus", "mmm-bogus", "zzz-bogus"`
+	for i := 0; i < 20; i++ {
+		_, err := SelectCheckers(names)
+		if err == nil {
+			t.Fatal("unknown checker names accepted")
+		}
+		if got := err.Error(); !strings.HasPrefix(got, want) {
+			t.Fatalf("run %d: error %q, want prefix %q", i, got, want)
+		}
+	}
+	// A single unknown name keeps the singular form.
+	_, err := SelectCheckers([]string{"only-bogus"})
+	if err == nil || !strings.HasPrefix(err.Error(), `staticlint: unknown checker "only-bogus"`) {
+		t.Fatalf("single unknown: %v", err)
 	}
 }

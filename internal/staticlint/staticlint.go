@@ -36,6 +36,7 @@ package staticlint
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"deaduops/internal/asm"
@@ -175,16 +176,32 @@ func SelectCheckers(names []string) ([]Checker, error) {
 		for _, c := range all {
 			valid = append(valid, c.Name())
 		}
+		// Every unknown name, sorted: `want` is a map, so reporting the
+		// first range key would pick a nondeterministic one when several
+		// names are bad.
+		unknown := make([]string, 0, len(want))
 		for n := range want {
-			return nil, fmt.Errorf("staticlint: unknown checker %q (valid: %s)", n, strings.Join(valid, ", "))
+			unknown = append(unknown, fmt.Sprintf("%q", n))
 		}
+		sort.Strings(unknown)
+		noun := "checker"
+		if len(unknown) > 1 {
+			noun = "checkers"
+		}
+		return nil, fmt.Errorf("staticlint: unknown %s %s (valid: %s)",
+			noun, strings.Join(unknown, ", "), strings.Join(valid, ", "))
 	}
 	return out, nil
 }
 
 // Lint analyzes prog against spec and runs the configured checkers.
 func Lint(prog *asm.Program, spec Spec, cfg Config) *Report {
-	a := Analyze(prog, spec, cfg)
+	return lintAnalysis(Analyze(prog, spec, cfg), cfg)
+}
+
+// lintAnalysis runs the configured checkers over a finished analysis
+// (shared by Lint and the cache-backed LintCached).
+func lintAnalysis(a *Analysis, cfg Config) *Report {
 	checkers := cfg.Checkers
 	if checkers == nil {
 		checkers = AllCheckers()

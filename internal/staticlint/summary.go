@@ -138,31 +138,62 @@ func (a *Analysis) computeSummaries() {
 	a.funcWrites = a.computeWrites()
 	a.inSummary = true
 	defer func() { a.inSummary = false }()
+	// Content-addressed summary reuse (cache.go): funcKey accumulates
+	// each function's key as its SCC is processed bottom-up, so caller
+	// components can fold their callees' keys in. A cached component is
+	// installed without re-running its fixpoint; a missing one computes
+	// exactly as below and is stored for the next analysis.
+	var (
+		specFP, cfgFP cacheKey
+		funcKey       []cacheKey
+	)
+	if a.cache != nil {
+		specFP = specFingerprint(a.Spec)
+		cfgFP = configFingerprint(a.Cfg, false)
+		funcKey = make([]cacheKey, len(a.funcs))
+	}
 	for _, scc := range a.callSCCs() {
+		var keys []cacheKey
+		if a.cache != nil {
+			keys = a.sccKeys(scc, specFP, cfgFP, funcKey)
+			if sums, ok := a.cache.getSummaries(keys); ok {
+				for i, fi := range scc {
+					a.summaries[a.funcs[fi].Entry] = sums[i]
+				}
+				continue
+			}
+		}
 		if len(scc) == 1 && !a.selfCalls(scc[0]) {
 			f := a.funcs[scc[0]]
 			a.summaries[f.Entry] = a.summarize(scc[0])
-			continue
-		}
-		for _, fi := range scc {
-			a.summaries[a.funcs[fi].Entry] = a.bottomSummary(fi)
-		}
-		converged := false
-		for iter := 0; iter < maxSummaryIters && !converged; iter++ {
-			converged = true
+		} else {
 			for _, fi := range scc {
-				f := a.funcs[fi]
-				s := a.joinSummary(a.summaries[f.Entry], a.summarize(fi))
-				if !summaryEqual(s, a.summaries[f.Entry]) {
-					a.summaries[f.Entry] = s
-					converged = false
+				a.summaries[a.funcs[fi].Entry] = a.bottomSummary(fi)
+			}
+			converged := false
+			for iter := 0; iter < maxSummaryIters && !converged; iter++ {
+				converged = true
+				for _, fi := range scc {
+					f := a.funcs[fi]
+					s := a.joinSummary(a.summaries[f.Entry], a.summarize(fi))
+					if !summaryEqual(s, a.summaries[f.Entry]) {
+						a.summaries[f.Entry] = s
+						converged = false
+					}
+				}
+			}
+			if !converged {
+				for _, fi := range scc {
+					a.summaries[a.funcs[fi].Entry] = &havocSummary
 				}
 			}
 		}
-		if !converged {
-			for _, fi := range scc {
-				a.summaries[a.funcs[fi].Entry] = &havocSummary
+		if a.cache != nil {
+			sums := make([]*summary, len(scc))
+			for i, fi := range scc {
+				sums[i] = a.summaries[a.funcs[fi].Entry]
 			}
+			a.cache.putSummaries(keys, sums)
 		}
 	}
 }

@@ -196,6 +196,11 @@ type Analysis struct {
 	paramMask  taintSet
 	paramsOK   bool
 	inSummary  bool // a summary fixpoint is running (loadTaint hook)
+
+	// cache, when non-nil, serves and receives per-function summaries
+	// keyed by content hash (cache.go) so re-analysis after an edit
+	// recomputes only changed functions and their SCC dependents.
+	cache *Cache
 }
 
 // Sources returns the taint source table (indexed by bit position,
@@ -226,11 +231,17 @@ func (a *Analysis) SecretTaint(set taintSet) (def, may taintSet) {
 // Analyze builds the CFG and runs the forward taint dataflow to a
 // fixpoint.
 func Analyze(prog *asm.Program, spec Spec, cfg Config) *Analysis {
+	return analyzeWith(prog, spec, cfg, nil)
+}
+
+// analyzeWith is Analyze with an optional summary cache attached.
+func analyzeWith(prog *asm.Program, spec Spec, cfg Config, cache *Cache) *Analysis {
 	a := &Analysis{
-		Prog: prog,
-		CFG:  BuildCFG(prog),
-		Spec: spec,
-		Cfg:  cfg,
+		Prog:  prog,
+		CFG:   BuildCFG(prog),
+		Spec:  spec,
+		Cfg:   cfg,
+		cache: cache,
 	}
 	for _, r := range spec.SecretRegs {
 		a.secretDef |= a.addSource(Source{Kind: SrcSecretReg, Reg: r})
