@@ -4,7 +4,7 @@ GO ?= go
 # for a real fuzzing session (e.g. make fuzz FUZZTIME=10m).
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet lint serve fuzz check bench-json
+.PHONY: build test race vet lint serve fuzz check bench-json bench-diff
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,21 @@ bench-json:
 	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) -benchmem . \
 		| $(GO) run ./cmd/benchjson > BENCH_$(BENCHDATE).json
 	@echo wrote BENCH_$(BENCHDATE).json
+
+# bench-diff is the perf-regression gate: it takes a fresh
+# -benchtime=1x snapshot and diffs it against the newest committed
+# BENCH_*.json baseline, failing on a >10% drop in sim-cycles/s or
+# findings/s. BENCHALLOW exempts benchmarks with intentional changes,
+# e.g. make bench-diff BENCHALLOW=BenchmarkRefillSweep. The fresh
+# snapshot lands in bench-new.json (untracked).
+BENCHBASE ?= $(shell ls BENCH_*.json 2>/dev/null | sort | tail -n 1)
+BENCHALLOW ?=
+
+bench-diff:
+	@test -n "$(BENCHBASE)" || { echo "bench-diff: no committed BENCH_*.json baseline"; exit 2; }
+	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) -benchmem . \
+		| $(GO) run ./cmd/benchjson > bench-new.json
+	$(GO) run ./cmd/benchjson -diff -allow '$(BENCHALLOW)' $(BENCHBASE) bench-new.json
 
 # fuzz runs every native fuzz target for FUZZTIME each: the assembler
 # and legacy-decode invariants, the indirect-target resolution

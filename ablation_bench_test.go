@@ -16,10 +16,12 @@ import (
 )
 
 // calibrationSeparation builds a same-address-space channel on cfg and
-// returns miss/hit probe-time ratio (the raw signal strength).
-func calibrationSeparation(b *testing.B, cfg cpu.Config) float64 {
+// returns miss/hit probe-time ratio (the raw signal strength). The
+// core's guest memory and checkpoint buffers come from a, so a
+// benchmark looping this pays construction once, not per iteration.
+func calibrationSeparation(b *testing.B, cfg cpu.Config, a *cpu.Arena) float64 {
 	b.Helper()
-	c := cpu.New(cfg)
+	c := cpu.NewWith(cfg, a)
 	ch, err := channel.NewSameAddressSpace(c, channel.DefaultConfig())
 	if err != nil {
 		return 1 // no signal
@@ -37,9 +39,10 @@ func BenchmarkAblationHotnessCap(b *testing.B) {
 			func(b *testing.B) {
 				cfg := cpu.Intel()
 				cfg.UopCache.HotnessMax = cap
+				a := new(cpu.Arena)
 				var sep float64
 				for i := 0; i < b.N; i++ {
-					sep = calibrationSeparation(b, cfg)
+					sep = calibrationSeparation(b, cfg, a)
 				}
 				b.ReportMetric(sep, "miss/hit-ratio")
 			})
@@ -55,9 +58,10 @@ func BenchmarkAblationSwitchPenalty(b *testing.B) {
 			func(b *testing.B) {
 				cfg := cpu.Intel()
 				cfg.UopCache.SwitchPenalty = pen
+				a := new(cpu.Arena)
 				var sep float64
 				for i := 0; i < b.N; i++ {
-					sep = calibrationSeparation(b, cfg)
+					sep = calibrationSeparation(b, cfg, a)
 				}
 				b.ReportMetric(sep, "miss/hit-ratio")
 			})
@@ -68,7 +72,7 @@ func BenchmarkAblationSwitchPenalty(b *testing.B) {
 // against a plain one: the length-changing prefixes are what stretch
 // the miss path and sharpen the timing contrast.
 func BenchmarkAblationLCPPadding(b *testing.B) {
-	measure := func(b *testing.B, spec *codegen.ChainSpec, other *codegen.ChainSpec) float64 {
+	measure := func(b *testing.B, spec *codegen.ChainSpec, other *codegen.ChainSpec, a *cpu.Arena) float64 {
 		recv, err := attack.Build(spec)
 		if err != nil {
 			b.Fatal(err)
@@ -81,7 +85,7 @@ func BenchmarkAblationLCPPadding(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		c := cpu.New(cpu.Intel())
+		c := cpu.NewWith(cpu.Intel(), a)
 		c.LoadProgram(merged)
 		th, err := attack.Calibrate(c, recv, send, 20, 5, 4)
 		if err != nil {
@@ -91,16 +95,18 @@ func BenchmarkAblationLCPPadding(b *testing.B) {
 	}
 	g := attack.DefaultGeometry()
 	b.Run("lcp-tiger", func(b *testing.B) {
+		a := new(cpu.Arena)
 		var sep float64
 		for i := 0; i < b.N; i++ {
-			sep = measure(b, attack.Tiger(0x40000, g, "r"), attack.Tiger(0x80000, g, "s"))
+			sep = measure(b, attack.Tiger(0x40000, g, "r"), attack.Tiger(0x80000, g, "s"), a)
 		}
 		b.ReportMetric(sep, "miss/hit-ratio")
 	})
 	b.Run("plain-tiger", func(b *testing.B) {
+		a := new(cpu.Arena)
 		var sep float64
 		for i := 0; i < b.N; i++ {
-			sep = measure(b, attack.FastTiger(0x40000, g, "r"), attack.FastTiger(0x80000, g, "s"))
+			sep = measure(b, attack.FastTiger(0x40000, g, "r"), attack.FastTiger(0x80000, g, "s"), a)
 		}
 		b.ReportMetric(sep, "miss/hit-ratio")
 	})

@@ -6,14 +6,22 @@
 // BENCH_<date>.json baselines committed alongside performance work,
 // and CI uploads the same snapshot as an artifact so regressions can
 // be diffed across runs with nothing fancier than jq.
+//
+// With -diff old.json new.json it instead compares two snapshots: a
+// per-benchmark table of ns/op and custom-metric deltas, exiting 1
+// when a gated throughput metric (sim-cycles/s, findings/s) regressed
+// more than 10% — the CI perf gate. -allow exempts named benchmarks
+// from the gate for intentional changes.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -42,6 +50,43 @@ type Snapshot struct {
 }
 
 func main() {
+	diffMode := flag.Bool("diff", false, "compare two snapshot files (old.json new.json) instead of converting stdin")
+	allow := flag.String("allow", "", "comma-separated benchmark names exempt from the -diff regression gate")
+	flag.Parse()
+	if *diffMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two snapshot files: old.json new.json")
+			os.Exit(2)
+		}
+		oldSnap, err := readSnapshot(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		newSnap, err := readSnapshot(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		allowed := map[string]bool{}
+		for _, name := range strings.Split(*allow, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				allowed[name] = true
+			}
+		}
+		report, regressions := diffSnapshots(oldSnap, newSnap, allowed)
+		for _, line := range report {
+			fmt.Println(line)
+		}
+		if len(regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d gated regression(s) over %.0f%%:\n", len(regressions), 100*regressionTolerance)
+			for _, r := range regressions {
+				fmt.Fprintf(os.Stderr, "  %s\n", r)
+			}
+			os.Exit(1)
+		}
+		return
+	}
 	snap := Snapshot{
 		Date:      time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
@@ -71,6 +116,94 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: write: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// regressionTolerance is the relative drop in a gated throughput
+// metric the diff gate accepts as noise; beyond it the diff exits 1.
+const regressionTolerance = 0.10
+
+// gatedMetrics are the throughput metrics the regression gate watches.
+// Throughput semantics: a LOWER value is a regression. ns/op and other
+// metrics are reported but never gate — benchmark sets change shape
+// too often for a blanket time gate, while these two units exist
+// precisely to track the simulator's and the audit pipeline's speed.
+var gatedMetrics = map[string]bool{
+	"sim-cycles/s": true,
+	"findings/s":   true,
+}
+
+// readSnapshot loads one JSON snapshot file.
+func readSnapshot(path string) (Snapshot, error) {
+	var s Snapshot
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// pctDelta renders a relative change; positive means new > old.
+func pctDelta(oldV, newV float64) string {
+	if oldV == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(newV-oldV)/oldV)
+}
+
+// diffSnapshots compares every benchmark present in both snapshots.
+// It returns the human-readable report and the list of gate failures:
+// benchmarks (outside allowed) whose gated throughput metric dropped
+// by more than regressionTolerance. Benchmarks present on only one
+// side are reported but never gate — added or removed benchmarks are
+// deliberate changes, not regressions.
+func diffSnapshots(oldSnap, newSnap Snapshot, allowed map[string]bool) (report, regressions []string) {
+	oldByName := map[string]Benchmark{}
+	for _, b := range oldSnap.Benchmarks {
+		oldByName[b.Name] = b
+	}
+	seen := map[string]bool{}
+	for _, nb := range newSnap.Benchmarks {
+		seen[nb.Name] = true
+		ob, ok := oldByName[nb.Name]
+		if !ok {
+			report = append(report, fmt.Sprintf("%-60s (new benchmark)", nb.Name))
+			continue
+		}
+		line := fmt.Sprintf("%-60s ns/op %12.0f -> %12.0f (%s)",
+			nb.Name, ob.NsPerOp, nb.NsPerOp, pctDelta(ob.NsPerOp, nb.NsPerOp))
+		units := make([]string, 0, len(nb.Metrics))
+		for unit := range nb.Metrics {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			newV := nb.Metrics[unit]
+			oldV, ok := ob.Metrics[unit]
+			if !ok {
+				continue
+			}
+			line += fmt.Sprintf("  %s %g -> %g (%s)", unit, oldV, newV, pctDelta(oldV, newV))
+			if gatedMetrics[unit] && oldV > 0 && newV < oldV*(1-regressionTolerance) {
+				if allowed[nb.Name] {
+					line += " [regression allowed]"
+				} else {
+					line += " [REGRESSION]"
+					regressions = append(regressions,
+						fmt.Sprintf("%s: %s %g -> %g (%s)", nb.Name, unit, oldV, newV, pctDelta(oldV, newV)))
+				}
+			}
+		}
+		report = append(report, line)
+	}
+	for _, ob := range oldSnap.Benchmarks {
+		if !seen[ob.Name] {
+			report = append(report, fmt.Sprintf("%-60s (removed benchmark)", ob.Name))
+		}
+	}
+	return report, regressions
 }
 
 // parseLine parses one `go test -bench` result line:

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestParseLine(t *testing.T) {
 	b, ok := parseLine("BenchmarkSimulatorThroughput-8 \t 100\t 3344813 ns/op\t 0 allocs/sim-cycle\t 4914 sim-cycles/op\t 1469550 sim-cycles/s")
@@ -48,5 +51,77 @@ func TestParseLineRejectsNonResults(t *testing.T) {
 		if _, ok := parseLine(line); ok {
 			t.Errorf("parsed non-result line %q", line)
 		}
+	}
+}
+
+func snap(benches ...Benchmark) Snapshot { return Snapshot{Benchmarks: benches} }
+
+func TestDiffGatesThroughputRegression(t *testing.T) {
+	oldSnap := snap(
+		Benchmark{Name: "BenchmarkSimulatorThroughput", NsPerOp: 100, Metrics: map[string]float64{"sim-cycles/s": 1_000_000}},
+		Benchmark{Name: "BenchmarkAuditFindings", NsPerOp: 200, Metrics: map[string]float64{"findings/s": 50}},
+	)
+	// 20% sim-cycles/s drop regresses; findings/s improves.
+	newSnap := snap(
+		Benchmark{Name: "BenchmarkSimulatorThroughput", NsPerOp: 130, Metrics: map[string]float64{"sim-cycles/s": 800_000}},
+		Benchmark{Name: "BenchmarkAuditFindings", NsPerOp: 150, Metrics: map[string]float64{"findings/s": 60}},
+	)
+	report, regressions := diffSnapshots(oldSnap, newSnap, nil)
+	if len(report) != 2 {
+		t.Fatalf("report has %d lines, want 2:\n%v", len(report), report)
+	}
+	if len(regressions) != 1 || !strings.Contains(regressions[0], "BenchmarkSimulatorThroughput") {
+		t.Fatalf("regressions = %v, want one on BenchmarkSimulatorThroughput", regressions)
+	}
+	if !strings.Contains(report[0], "[REGRESSION]") {
+		t.Errorf("regressed line not marked: %s", report[0])
+	}
+	if strings.Contains(report[1], "REGRESSION") {
+		t.Errorf("improved benchmark marked regressed: %s", report[1])
+	}
+}
+
+func TestDiffWithinToleranceIsClean(t *testing.T) {
+	oldSnap := snap(Benchmark{Name: "B", NsPerOp: 100, Metrics: map[string]float64{"sim-cycles/s": 1000}})
+	newSnap := snap(Benchmark{Name: "B", NsPerOp: 300, Metrics: map[string]float64{"sim-cycles/s": 950}})
+	// 5% throughput drop is noise; the 3x ns/op change never gates.
+	if _, regressions := diffSnapshots(oldSnap, newSnap, nil); len(regressions) != 0 {
+		t.Fatalf("regressions = %v, want none", regressions)
+	}
+}
+
+func TestDiffAllowlistSuppressesGate(t *testing.T) {
+	oldSnap := snap(Benchmark{Name: "B", NsPerOp: 100, Metrics: map[string]float64{"findings/s": 100}})
+	newSnap := snap(Benchmark{Name: "B", NsPerOp: 100, Metrics: map[string]float64{"findings/s": 10}})
+	report, regressions := diffSnapshots(oldSnap, newSnap, map[string]bool{"B": true})
+	if len(regressions) != 0 {
+		t.Fatalf("regressions = %v, want none (allowlisted)", regressions)
+	}
+	if !strings.Contains(report[0], "[regression allowed]") {
+		t.Errorf("allowlisted regression not annotated: %s", report[0])
+	}
+}
+
+func TestDiffUngatedMetricsNeverGate(t *testing.T) {
+	oldSnap := snap(Benchmark{Name: "B", NsPerOp: 100, Metrics: map[string]float64{"sim-Kbit/s": 100, "err-%": 1}})
+	newSnap := snap(Benchmark{Name: "B", NsPerOp: 100, Metrics: map[string]float64{"sim-Kbit/s": 10, "err-%": 50}})
+	if _, regressions := diffSnapshots(oldSnap, newSnap, nil); len(regressions) != 0 {
+		t.Fatalf("regressions = %v, want none for ungated units", regressions)
+	}
+}
+
+func TestDiffAddedRemovedBenchmarks(t *testing.T) {
+	oldSnap := snap(Benchmark{Name: "Gone", NsPerOp: 1, Metrics: map[string]float64{"sim-cycles/s": 100}})
+	newSnap := snap(Benchmark{Name: "Fresh", NsPerOp: 1})
+	report, regressions := diffSnapshots(oldSnap, newSnap, nil)
+	if len(regressions) != 0 {
+		t.Fatalf("regressions = %v; added/removed benchmarks must not gate", regressions)
+	}
+	joined := strings.Join(report, "\n")
+	if !strings.Contains(joined, "Fresh") || !strings.Contains(joined, "new benchmark") {
+		t.Errorf("new benchmark not reported:\n%s", joined)
+	}
+	if !strings.Contains(joined, "Gone") || !strings.Contains(joined, "removed benchmark") {
+		t.Errorf("removed benchmark not reported:\n%s", joined)
 	}
 }

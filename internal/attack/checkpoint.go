@@ -1,0 +1,71 @@
+package attack
+
+// checkpoint.go is the checkpoint-forking calibration protocol. The
+// classic MeasureRounds re-primes the receiver before every probe —
+// per round, a full primeIters-traversal prime for the hit measurement
+// and another for the miss. On the deterministic simulator each of
+// those primes rebuilds the same micro-op cache state, so the
+// checkpointed variant primes once, snapshots the primed core, and
+// forks every measurement from the snapshot: probe-after-restore is
+// bit-identical to probe-after-prime (TestCheckpointedProbeEquals
+// pins it), but costs one Restore instead of primeIters traversals.
+//
+// The variants are opt-in, not replacements. The default protocol's
+// second prime per round starts from post-probe state, not from the
+// snapshot, so the two protocols' round sequences — while agreeing on
+// every probe value in practice — are not byte-identical executions,
+// and the committed probe goldens pin the default. Callers choose the
+// checkpointed protocol explicitly for sweeps where calibration
+// dominates wall-clock.
+
+import "deaduops/internal/cpu"
+
+// MeasureRoundsCheckpointed is MeasureRounds forking every measurement
+// from a single primed-core checkpoint: prime once, snapshot, then per
+// round restore→probe (hit) and restore→send→probe (miss). ck is the
+// reusable snapshot buffer (draw it from cpu.Arena.CheckpointBuf in
+// sweep workers); nil allocates one internally.
+func MeasureRoundsCheckpointed(c *cpu.CPU, ck *cpu.Checkpoint, receiver *Routine, send SendFunc, primeIters, probeIters int64, rounds int) (Rounds, error) {
+	if ck == nil {
+		ck = new(cpu.Checkpoint)
+	}
+	r := Rounds{ProbeIters: probeIters}
+	if _, err := receiver.Run(c, 0, primeIters); err != nil {
+		return r, err
+	}
+	c.Checkpoint(ck)
+	for i := 0; i < rounds; i++ {
+		// Hit: fork the primed core, probe immediately.
+		c.Restore(ck)
+		hc, err := receiver.Run(c, 0, probeIters)
+		if err != nil {
+			return r, err
+		}
+		r.Hit = append(r.Hit, float64(hc))
+		// Miss: fork the primed core, let the sender evict, probe.
+		c.Restore(ck)
+		if err := send(); err != nil {
+			return r, err
+		}
+		mc, err := receiver.Run(c, 0, probeIters)
+		if err != nil {
+			return r, err
+		}
+		r.Miss = append(r.Miss, float64(mc))
+	}
+	return r, nil
+}
+
+// CalibrateCheckpointed is Calibrate over the checkpoint-forking
+// protocol: one prime, rounds×2 forks. See MeasureRoundsCheckpointed
+// for when to prefer it over the default.
+func CalibrateCheckpointed(c *cpu.CPU, ck *cpu.Checkpoint, receiver, sender *Routine, primeIters, probeIters int64, rounds int) (Threshold, error) {
+	r, err := MeasureRoundsCheckpointed(c, ck, receiver, func() error {
+		_, err := sender.Run(c, 0, primeIters)
+		return err
+	}, primeIters, probeIters, rounds)
+	if err != nil {
+		return Threshold{ProbeIters: probeIters}, err
+	}
+	return r.Threshold()
+}

@@ -1,0 +1,97 @@
+package attack
+
+import (
+	"testing"
+
+	"deaduops/internal/asm"
+	"deaduops/internal/cpu"
+)
+
+// calibrationRig builds the standard receiver/sender tiger pair on one
+// core — the setup TestCalibrate uses.
+func calibrationRig(t *testing.T) (*cpu.CPU, *Routine, *Routine) {
+	t.Helper()
+	g := DefaultGeometry()
+	recv, err := Build(Tiger(0x40000, g, "recv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	send, err := Build(Tiger(0x80000, g, "send"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := asm.Merge(recv.Prog, send.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.New(cpu.Intel())
+	c.LoadProgram(merged)
+	return c, recv, send
+}
+
+// TestCheckpointedProbeEquals pins the property the checkpointed
+// protocol rests on: a probe after restoring the primed-core snapshot
+// is byte-identical in cycles to a probe right after the prime the
+// snapshot captured — and stays so on every later fork, even after a
+// sender trashed the receiver's sets in between.
+func TestCheckpointedProbeEquals(t *testing.T) {
+	c, recv, send := calibrationRig(t)
+	const primeIters, probeIters = 20, 5
+
+	if _, err := recv.Run(c, 0, primeIters); err != nil {
+		t.Fatal(err)
+	}
+	var ck cpu.Checkpoint
+	c.Checkpoint(&ck)
+	want, err := recv.Run(c, 0, probeIters)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for fork := 0; fork < 3; fork++ {
+		c.Restore(&ck)
+		got, err := recv.Run(c, 0, probeIters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("fork %d: probe after restore took %d cycles, probe after prime took %d", fork, got, want)
+		}
+		// Dirty the core before the next fork so the restore has real
+		// state to undo.
+		if _, err := send.Run(c, 0, primeIters); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCalibrateCheckpointed proves the forking protocol yields a valid
+// threshold with the same decision behaviour as the classic one: both
+// separate hit from miss, and the checkpointed hit/miss means match
+// the classic protocol's (each round replays the same deterministic
+// prime state, so the distributions collapse onto the classic values).
+func TestCalibrateCheckpointed(t *testing.T) {
+	c, recv, send := calibrationRig(t)
+	classic, err := Calibrate(c, recv, send, 20, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c2, recv2, send2 := calibrationRig(t)
+	th, err := CalibrateCheckpointed(c2, nil, recv2, send2, 20, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.Cut <= th.HitMean || th.Cut >= th.MissMean {
+		t.Errorf("cut %.0f outside (%.0f, %.0f)", th.Cut, th.HitMean, th.MissMean)
+	}
+	if !th.Hit(uint64(th.HitMean)) || th.Hit(uint64(th.MissMean)) {
+		t.Error("checkpointed threshold misclassifies its own means")
+	}
+	if th.HitMean != classic.HitMean {
+		t.Errorf("hit means diverge: checkpointed %.0f, classic %.0f", th.HitMean, classic.HitMean)
+	}
+	if th.MissMean != classic.MissMean {
+		t.Errorf("miss means diverge: checkpointed %.0f, classic %.0f", th.MissMean, classic.MissMean)
+	}
+}

@@ -239,6 +239,54 @@ func (b *Backend) Retired() uint64 { return b.retired }
 // KernelMode reports the current privilege level.
 func (b *Backend) KernelMode() bool { return b.kernelMode }
 
+// State is the backend state that persists between runs: architectural
+// registers and flags, privilege mode, the syscall return stack, the
+// retired-macro-op count, and the entry-pool sequence watermark.
+// In-flight ROB contents are deliberately absent — checkpoints are
+// taken between runs, where Reset discards them anyway.
+type State struct {
+	Regs       [isa.NumRegs]int64
+	Flags      isa.Flags
+	KernelMode bool
+	SysRet     []uint64
+	Seq        uint64
+	Retired    uint64
+	Halted     bool
+}
+
+// Save deep-copies the persistent backend state into s, reusing s's
+// buffers.
+func (b *Backend) Save(s *State) {
+	s.Regs = b.regs
+	s.Flags = b.flags
+	s.KernelMode = b.kernelMode
+	s.SysRet = append(s.SysRet[:0], b.sysRet...)
+	s.Seq = b.seq
+	s.Retired = b.retired
+	s.Halted = b.halted
+}
+
+// Restore rehydrates the persistent backend state from s, draining any
+// in-flight and parked entries back to the pool (exactly as Reset
+// does) so the backend sits in the quiescent between-runs position.
+func (b *Backend) Restore(s *State) {
+	b.free = append(b.free, b.rob...)
+	for i := range b.grave {
+		b.free = append(b.free, b.grave[i].e)
+	}
+	b.grave = b.grave[:0]
+	b.rob = b.rob[:0]
+	b.regProd = [isa.NumRegs]*entry{}
+	b.flagProd = nil
+	b.regs = s.Regs
+	b.flags = s.Flags
+	b.kernelMode = s.KernelMode
+	b.sysRet = append(b.sysRet[:0], s.SysRet...)
+	b.seq = s.Seq
+	b.retired = s.Retired
+	b.halted = s.Halted
+}
+
 // Tick advances the backend one cycle: retire, execute, then dispatch
 // (reverse pipeline order so a micro-op spends at least a cycle in each
 // stage).
@@ -251,6 +299,84 @@ func (b *Backend) Tick(cycle uint64) {
 	b.resolveBranches()
 	b.execute()
 	b.dispatch()
+}
+
+// SkipBound returns how many upcoming cycles of Tick (called with
+// cycle+1, cycle+2, …) are provably no-ops, so the core can advance
+// the clock over them in one step. ^uint64(0) means the backend is
+// idle until the front end delivers; 0 means the next Tick may retire,
+// resolve, complete, issue, or dispatch and must run for real.
+//
+// The proof obligation: inside the returned window no entry completes
+// (the bound ends strictly before the earliest readyAt), so nothing
+// retires, no branch resolves, no dependency becomes ready, fences
+// stay standing, and stores stay undrained — every blocked micro-op
+// stays blocked for exactly the window.
+func (b *Backend) SkipBound(cycle uint64) uint64 {
+	const unbounded = ^uint64(0)
+	if b.halted {
+		return unbounded
+	}
+	if len(b.rob) == 0 {
+		if b.fe.IDQLen() > 0 {
+			return 0 // dispatch would rename into the empty ROB
+		}
+		return unbounded
+	}
+	if b.rob[0].done {
+		return 0 // retire (or branch resolution) acts on the head
+	}
+	if b.fe.IDQLen() > 0 && len(b.rob) < b.cfg.ROBSize {
+		return 0 // dispatch has both micro-ops and ROB room
+	}
+	bound := unbounded
+	lfIdx := b.lfenceBlockIndex()
+	fenced := false // a ready serializing micro-op blocks all younger issue
+	for i, e := range b.rob {
+		if e.done {
+			if e.uop.IsBranch() && !e.resolved {
+				return 0 // resolveBranches acts
+			}
+			continue
+		}
+		if e.issued {
+			if e.readyAt <= cycle+1 {
+				return 0 // completes on the very next Tick
+			}
+			if w := e.readyAt - cycle - 1; w < bound {
+				bound = w
+			}
+			continue
+		}
+		// Unissued. It is window-inert only if blocked by a condition
+		// that can change solely through a completion or retirement —
+		// both excluded inside the window.
+		if fenced {
+			continue
+		}
+		if lfIdx >= 0 && i > lfIdx {
+			continue // behind an in-flight LFENCE
+		}
+		if !depReady(e.src1) || !depReady(e.src2) ||
+			!depReady(e.flagSrc) || !depReady(e.chain) {
+			continue // waiting on an in-flight producer
+		}
+		switch e.uop.Op {
+		case isa.LFENCE, isa.SYSRET, isa.ITLBFLUSH:
+			if i > 0 {
+				// Serializing: waits to reach the ROB head, which takes a
+				// retirement; execute's issue loop breaks here, so every
+				// younger micro-op is blocked with it.
+				fenced = true
+				continue
+			}
+		}
+		if isLoad(&e.uop) && b.olderStorePending(i) {
+			continue // stores drain only at retire
+		}
+		return 0 // ready to issue next Tick
+	}
+	return bound
 }
 
 // lfenceBlockIndex returns the ROB index of the oldest unretired LFENCE

@@ -158,6 +158,49 @@ func (b *BPU) PopRSB() (uint64, bool) {
 	return b.rsb[b.rsbTop%len(b.rsb)], true
 }
 
+// State is a deep snapshot of a predictor's dynamic contents, reusable
+// across Save calls (the backing arrays are recycled). Snapshots only
+// restore into a BPU built from the same Config.
+type State struct {
+	pht        []uint8
+	history    uint64
+	btb        []btbEntry
+	indirect   []btbEntry
+	rsb        []uint64
+	rsbTop     int
+	dirLookups uint64
+	dirMisses  uint64
+}
+
+// Save deep-copies the predictor state into s, reusing s's buffers.
+func (b *BPU) Save(s *State) {
+	s.pht = append(s.pht[:0], b.pht...)
+	s.btb = append(s.btb[:0], b.btb...)
+	s.indirect = append(s.indirect[:0], b.indirect...)
+	s.rsb = append(s.rsb[:0], b.rsb...)
+	s.history = b.history
+	s.rsbTop = b.rsbTop
+	s.dirLookups = b.DirectionLookups
+	s.dirMisses = b.DirectionMisses
+}
+
+// Restore overwrites the predictor state from s. It panics if s was
+// saved from a predictor with different geometry.
+func (b *BPU) Restore(s *State) {
+	if len(s.pht) != len(b.pht) || len(s.btb) != len(b.btb) ||
+		len(s.indirect) != len(b.indirect) || len(s.rsb) != len(b.rsb) {
+		panic("bpu: Restore from a checkpoint with different geometry")
+	}
+	copy(b.pht, s.pht)
+	copy(b.btb, s.btb)
+	copy(b.indirect, s.indirect)
+	copy(b.rsb, s.rsb)
+	b.history = s.history
+	b.rsbTop = s.rsbTop
+	b.DirectionLookups = s.dirLookups
+	b.DirectionMisses = s.dirMisses
+}
+
 // Reset clears all predictor state (used between independent trials).
 func (b *BPU) Reset() {
 	for i := range b.pht {

@@ -76,6 +76,14 @@ type Config struct {
 	// defense model: speculative loads defer their cache fills to
 	// retirement.
 	InvisibleSpeculation bool
+	// DisableCycleSkip turns off the event-driven fast path that
+	// advances the clock in one step over cycles in which every unit is
+	// provably idle (stall countdowns, in-flight memory latency, drain
+	// tails). The fast path is semantically invisible — cycle counts,
+	// counters, and all measured timings are bit-identical either way
+	// (TestSkipCyclesEquivalence) — so it defaults to on; disabling it
+	// exists for equivalence testing and baseline benchmarks.
+	DisableCycleSkip bool
 }
 
 // FromProfile assembles a core configuration for one registered
@@ -116,10 +124,22 @@ func AMDZen2() Config { return FromProfile(profile.Zen2()) }
 // modelled; transient wild accesses are harmless).
 type Memory struct {
 	data []byte
+	// dirty lists every 4 KiB page ever written, in first-write order;
+	// isDirty is its membership index. Save/Restore copy only these
+	// pages, keeping checkpoint cost proportional to the workload's
+	// data footprint instead of the 4 MiB image.
+	dirty   []int32
+	isDirty []bool
 }
 
 // NewMemory allocates a guest memory image.
-func NewMemory(size int) *Memory { return &Memory{data: make([]byte, size)} }
+func NewMemory(size int) *Memory {
+	return &Memory{data: make([]byte, size), isDirty: make([]bool, numPages(size))}
+}
+
+func numPages(size int) int {
+	return (size + (1 << memPageShift) - 1) >> memPageShift
+}
 
 // Arena recycles the dominant allocation a core needs — the guest
 // memory image, 4 MiB at the default configuration — across the
@@ -129,23 +149,74 @@ func NewMemory(size int) *Memory { return &Memory{data: make([]byte, size)} }
 // touches 8 images instead of 150. The zero value is ready to use,
 // and a nil *Arena degrades to plain allocation.
 type Arena struct {
-	mem []byte
+	m *Memory
+	// cks is the arena's pool of reusable checkpoint buffers: a sweep
+	// worker that snapshots one primed core per point checkpoints into
+	// the same backing arrays every time (see CheckpointBuf).
+	cks []*Checkpoint
+}
+
+// CheckpointBuf returns the arena's i-th reusable checkpoint buffer,
+// growing the pool on demand. Checkpoint buffers keep their backing
+// arrays across points, so repeated Checkpoint calls into the same
+// buffer are O(state-size) copies with no steady-state allocation. A
+// nil arena degrades to a fresh buffer per call.
+func (a *Arena) CheckpointBuf(i int) *Checkpoint {
+	if a == nil {
+		return &Checkpoint{}
+	}
+	for len(a.cks) <= i {
+		a.cks = append(a.cks, &Checkpoint{})
+	}
+	return a.cks[i]
 }
 
 // memory returns a zeroed guest image of the requested size, reusing
-// the arena's buffer when it is large enough.
+// the arena's image when the size matches. Reuse leans on the dirty
+// tracking: only pages the previous core wrote are re-zeroed, so
+// recycling a 4 MiB image costs a few page clears, not a 4 MiB sweep.
 func (a *Arena) memory(size int) *Memory {
 	if a == nil {
 		return NewMemory(size)
 	}
-	if cap(a.mem) < size {
-		a.mem = make([]byte, size)
+	if a.m == nil || len(a.m.data) != size {
+		a.m = NewMemory(size)
+		return a.m
 	}
-	buf := a.mem[:size]
-	for i := range buf {
-		buf[i] = 0
+	m := a.m
+	for _, p := range m.dirty {
+		buf := m.pageSlice(p)
+		for i := range buf {
+			buf[i] = 0
+		}
+		m.isDirty[p] = false
 	}
-	return &Memory{data: buf}
+	m.dirty = m.dirty[:0]
+	return m
+}
+
+// memPageShift sizes the dirty-tracking granule (4 KiB pages). The
+// guest image is MemSize bytes (4 MiB by default) but a workload
+// writes a handful of pages; tracking which ones lets Save/Restore
+// copy kilobytes instead of the whole image.
+const memPageShift = 12
+
+// markDirty records that [addr, addr+n) was written. Out-of-range
+// bytes are ignored, mirroring Write's clamping.
+func (m *Memory) markDirty(addr uint64, n int) {
+	if n <= 0 || addr >= uint64(len(m.data)) {
+		return
+	}
+	end := addr + uint64(n) - 1
+	if end >= uint64(len(m.data)) {
+		end = uint64(len(m.data)) - 1
+	}
+	for p := int32(addr >> memPageShift); p <= int32(end>>memPageShift); p++ {
+		if !m.isDirty[p] {
+			m.isDirty[p] = true
+			m.dirty = append(m.dirty, p)
+		}
+	}
 }
 
 // Read implements backend.Memory.
@@ -165,6 +236,7 @@ func (m *Memory) Read(addr uint64, size int) int64 {
 
 // Write implements backend.Memory.
 func (m *Memory) Write(addr uint64, size int, v int64) {
+	m.markDirty(addr, size)
 	for i := 0; i < size; i++ {
 		a := addr + uint64(i)
 		if a < uint64(len(m.data)) {
@@ -175,7 +247,64 @@ func (m *Memory) Write(addr uint64, size int, v int64) {
 
 // WriteBytes copies b into guest memory at addr.
 func (m *Memory) WriteBytes(addr uint64, b []byte) {
+	m.markDirty(addr, len(b))
 	copy(m.data[addr:], b)
+}
+
+// MemoryState is a sparse snapshot of the guest image: only
+// ever-written pages are stored, so its cost scales with the
+// workload's data footprint, not MemSize. Buffers are recycled across
+// Save calls.
+type MemoryState struct {
+	size  int
+	pages []int32
+	data  []byte
+}
+
+// Save copies every dirty page into s, reusing s's buffers.
+func (m *Memory) Save(s *MemoryState) {
+	const page = 1 << memPageShift
+	s.size = len(m.data)
+	s.pages = append(s.pages[:0], m.dirty...)
+	n := len(m.dirty) * page
+	if cap(s.data) < n {
+		s.data = make([]byte, n)
+	}
+	s.data = s.data[:n]
+	for i, p := range m.dirty {
+		copy(s.data[i*page:(i+1)*page], m.pageSlice(p))
+	}
+}
+
+// Restore overwrites the guest image from s: pages dirtied since the
+// snapshot but absent from it are zeroed, snapshot pages are copied
+// back, and the dirty set becomes the snapshot's. O(dirty pages), not
+// O(MemSize).
+func (m *Memory) Restore(s *MemoryState) {
+	const page = 1 << memPageShift
+	for _, p := range m.dirty {
+		buf := m.pageSlice(p)
+		for i := range buf {
+			buf[i] = 0
+		}
+		m.isDirty[p] = false
+	}
+	m.dirty = m.dirty[:0]
+	for i, p := range s.pages {
+		copy(m.pageSlice(p), s.data[i*page:(i+1)*page])
+		m.isDirty[p] = true
+		m.dirty = append(m.dirty, p)
+	}
+}
+
+// pageSlice returns page p's bytes, clamped at the image end.
+func (m *Memory) pageSlice(p int32) []byte {
+	lo := int(p) << memPageShift
+	hi := lo + 1<<memPageShift
+	if hi > len(m.data) {
+		hi = len(m.data)
+	}
+	return m.data[lo:hi]
 }
 
 // ReadBytes copies n bytes of guest memory at addr.
@@ -315,11 +444,41 @@ func (c *CPU) Run(t int, entry uint64, maxCycles uint64) RunResult {
 	beforeRetired := th.be.Retired()
 	th.be.Reset(entry)
 	start := c.cycle
+	skip := !c.cfg.DisableCycleSkip
 	for !th.be.Halted() && c.cycle-start < maxCycles {
 		c.cycle++
 		th.ctr.Inc(perfctr.Cycles)
 		th.fe.Tick()
 		th.be.Tick(c.cycle)
+		if !skip || th.be.Halted() {
+			continue
+		}
+		// Event-driven fast path: when both units report the next k
+		// cycles are provably dead (stall countdowns, waits on known
+		// completion times, or idling that only the other unit can end),
+		// advance the clock over them in one step. Each unit's bound
+		// carries the proof that its skipped Ticks would have been
+		// no-ops beyond deterministic counter effects, which ApplySkip
+		// replays — so cycle counts and every counter are bit-identical
+		// to the ticked execution. Single-thread runs only: SMT decoder
+		// arbitration keys off absolute cycle parity (miteTurn), which a
+		// jump would break.
+		k := th.fe.SkipBound()
+		if b := th.be.SkipBound(c.cycle); b < k {
+			k = b
+		}
+		if budget := maxCycles - (c.cycle - start); k > budget {
+			// Idle past the run budget (possibly forever — a stuck
+			// thread): fast-forward straight to the timeout.
+			k = budget
+		}
+		if k == 0 {
+			continue
+		}
+		c.cycle += k
+		th.ctr.Add(perfctr.Cycles, k)
+		th.ctr.Add(perfctr.SkippedCycles, k)
+		th.fe.ApplySkip(k)
 	}
 	return RunResult{
 		Cycles:   c.cycle - start,

@@ -136,6 +136,9 @@ func New(cfg Config, thread int, uc *uopcache.Cache, hier *mem.Hierarchy, bp *bp
 // SetProgram installs the code image.
 func (f *FrontEnd) SetProgram(p *asm.Program) { f.prog = p }
 
+// Program returns the installed code image (checkpointing).
+func (f *FrontEnd) Program() *asm.Program { return f.prog }
+
 // Redirect restarts fetch at pc, discarding all pending fetch state.
 // The backend calls this at misprediction recovery and at thread start.
 func (f *FrontEnd) Redirect(pc uint64) {
@@ -410,6 +413,77 @@ func (f *FrontEnd) Tick() {
 	case modeMITE:
 		f.tickMITE(room)
 	}
+}
+
+// SkipBound returns how many upcoming cycles of Tick are provably
+// dead — pure stall countdowns or no-ops — so the core's event-driven
+// fast path can advance the clock over them in one step. ^uint64(0)
+// means "idle until some other unit acts" (fetch stopped, serialized,
+// or blocked on a full IDQ that only the backend can drain); 0 means
+// the next Tick may deliver micro-ops or start a fetch and must run
+// for real. Note the DSB→MITE switch itself is never skippable: the
+// switch is charged inside startFetch, which SkipBound reports as 0 —
+// only the already-charged penalty countdown is fast-forwarded.
+func (f *FrontEnd) SkipBound() uint64 {
+	if !f.active || f.serialize {
+		return ^uint64(0)
+	}
+	if n := f.stallOther + f.stallPen; n > 0 {
+		return uint64(n)
+	}
+	if f.cfg.IDQCapacity-len(f.idq) <= 0 {
+		return ^uint64(0)
+	}
+	return 0
+}
+
+// ApplySkip replays the counter effects of k skipped cycles, which
+// must not exceed the last SkipBound: unattributed stalls drain
+// silently first (exactly as Tick would), then DSB-miss-penalty
+// stalls drain charging DSBMissPenaltyCycles each, and any remainder
+// was pure idling (inactive / serialized / IDQ full) with no effect.
+func (f *FrontEnd) ApplySkip(k uint64) {
+	n := int(k)
+	if f.stallOther > 0 {
+		take := f.stallOther
+		if take > n {
+			take = n
+		}
+		f.stallOther -= take
+		n -= take
+	}
+	if n > 0 && f.stallPen > 0 {
+		take := f.stallPen
+		if take > n {
+			take = n
+		}
+		f.stallPen -= take
+		n -= take
+		f.ctr.Add(perfctr.DSBMissPenaltyCycles, uint64(take))
+	}
+}
+
+// State is the part of a fetch engine that persists across runs: the
+// backend's Reset → Redirect at every run start discards all pending
+// fetch state, so the architectural syscall return-address stack is
+// the only field a between-runs checkpoint must carry.
+type State struct {
+	SysRet []uint64
+}
+
+// Save deep-copies the persistent fetch state into s, reusing s's
+// buffers.
+func (f *FrontEnd) Save(s *State) {
+	s.SysRet = append(s.SysRet[:0], f.sysRet...)
+}
+
+// Restore rehydrates the persistent fetch state from s and parks the
+// engine in the quiescent between-runs position (fetch stopped until
+// the next Reset redirects it).
+func (f *FrontEnd) Restore(s *State) {
+	f.Redirect(0)
+	f.active = false
+	f.sysRet = append(f.sysRet[:0], s.SysRet...)
 }
 
 // tickLSD replays the locked loop out of the IDQ, bypassing both the

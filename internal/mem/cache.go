@@ -58,6 +58,13 @@ type Cache struct {
 	clock uint64
 	stats CacheStats
 
+	// touched lists every set a fill has ever reached, in first-touch
+	// order; istouched is its membership index. Save/Restore walk only
+	// these sets, so snapshotting an 8192-set LLC whose workload lives
+	// in a dozen sets copies a dozen rows.
+	touched   []int32
+	istouched []bool
+
 	lineShift uint
 	setMask   uint64
 
@@ -73,7 +80,11 @@ func NewCache(name string, cfg CacheConfig) *Cache {
 	if err := cfg.validate(name); err != nil {
 		panic(err)
 	}
-	c := &Cache{cfg: cfg, sets: make([][]line, cfg.Sets)}
+	c := &Cache{
+		cfg:       cfg,
+		sets:      make([][]line, cfg.Sets),
+		istouched: make([]bool, cfg.Sets),
+	}
 	for i := range c.sets {
 		c.sets[i] = make([]line, cfg.Ways)
 	}
@@ -153,6 +164,12 @@ func (c *Cache) Access(addr uint64) bool {
 		c.notifyEvict(set, v.tag)
 	}
 	*v = line{tag: tag, valid: true, used: c.clock}
+	// Fills are the only way a line becomes valid, so marking here
+	// keeps touched a superset of every set holding state.
+	if !c.istouched[set] {
+		c.istouched[set] = true
+		c.touched = append(c.touched, int32(set))
+	}
 	return false
 }
 
@@ -190,6 +207,67 @@ func (c *Cache) InvalidateAll() {
 			}
 		}
 	}
+}
+
+// CacheState is a sparse snapshot of one level's dynamic contents:
+// only ever-touched sets are stored (index list plus their way rows),
+// so snapshot cost scales with the workload's footprint, not the
+// level's capacity. Backing arrays are recycled across Save calls, and
+// a snapshot only restores into a cache built from the same geometry.
+// Eviction hooks belong to the live cache and are untouched by
+// Save/Restore.
+type CacheState struct {
+	numSets int
+	ways    int
+	sets    []int32
+	lines   []line
+	clock   uint64
+	stats   CacheStats
+}
+
+// Save deep-copies every touched set's rows into s, reusing s's
+// buffers.
+func (c *Cache) Save(s *CacheState) {
+	w := c.cfg.Ways
+	s.numSets, s.ways = c.cfg.Sets, w
+	s.sets = append(s.sets[:0], c.touched...)
+	n := len(c.touched) * w
+	if cap(s.lines) < n {
+		s.lines = make([]line, n)
+	}
+	s.lines = s.lines[:n]
+	for i, set := range c.touched {
+		copy(s.lines[i*w:(i+1)*w], c.sets[set])
+	}
+	s.clock = c.clock
+	s.stats = c.stats
+}
+
+// Restore overwrites the level's contents from s: sets touched since
+// the snapshot but absent from it are zeroed, snapshot sets are copied
+// back, and the touched list becomes the snapshot's. It panics if s
+// was saved from a level with different geometry. No eviction hooks
+// fire: a restore is state substitution, not cache traffic.
+func (c *Cache) Restore(s *CacheState) {
+	if s.numSets != c.cfg.Sets || s.ways != c.cfg.Ways {
+		panic("mem: Restore from a checkpoint with different geometry")
+	}
+	for _, set := range c.touched {
+		row := c.sets[set]
+		for i := range row {
+			row[i] = line{}
+		}
+		c.istouched[set] = false
+	}
+	c.touched = c.touched[:0]
+	w := c.cfg.Ways
+	for i, set := range s.sets {
+		copy(c.sets[set], s.lines[i*w:(i+1)*w])
+		c.istouched[set] = true
+		c.touched = append(c.touched, set)
+	}
+	c.clock = s.clock
+	c.stats = s.stats
 }
 
 // Contains probes without touching recency or statistics.

@@ -93,6 +93,31 @@ func (h *Hierarchy) Stats() HierarchyStats {
 	}
 }
 
+// HierarchyState is a deep snapshot of every level's dynamic contents
+// (L1I, L1D, L2, LLC, iTLB), reusable across Save calls. Eviction and
+// iTLB-flush hooks stay with the live hierarchy.
+type HierarchyState struct {
+	l1i, l1d, l2, llc, tlb CacheState
+}
+
+// Save deep-copies all five levels into s, reusing s's buffers.
+func (h *Hierarchy) Save(s *HierarchyState) {
+	h.l1i.Save(&s.l1i)
+	h.l1d.Save(&s.l1d)
+	h.l2.Save(&s.l2)
+	h.llc.Save(&s.llc)
+	h.tlb.Save(&s.tlb)
+}
+
+// Restore overwrites all five levels from s. No hooks fire.
+func (h *Hierarchy) Restore(s *HierarchyState) {
+	h.l1i.Restore(&s.l1i)
+	h.l1d.Restore(&s.l1d)
+	h.l2.Restore(&s.l2)
+	h.llc.Restore(&s.llc)
+	h.tlb.Restore(&s.tlb)
+}
+
 // AccessData performs a data access at addr and returns its latency in
 // cycles, filling every missing level on the way.
 func (h *Hierarchy) AccessData(addr uint64) int {

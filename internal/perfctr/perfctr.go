@@ -56,6 +56,12 @@ const (
 	LSDUops
 	// IDQStallCycles counts cycles the IDQ delivered nothing.
 	IDQStallCycles
+	// SkippedCycles counts clock cycles the simulator advanced in one
+	// step through the event-driven fast path instead of ticking each
+	// unit. Skipped cycles are still charged to Cycles (and to any
+	// stall counter that would have ticked); this event only makes the
+	// fast path auditable. It has no hardware analogue.
+	SkippedCycles
 
 	// NumEvents is the number of defined events.
 	NumEvents
@@ -80,6 +86,7 @@ var eventNames = [NumEvents]string{
 	Squashes:             "machine_clears",
 	LSDUops:              "lsd.uops",
 	IDQStallCycles:       "idq.stall_cycles",
+	SkippedCycles:        "sim.skipped_cycles",
 }
 
 // String implements fmt.Stringer.
@@ -113,6 +120,10 @@ func (c *Counters) Snapshot() Snapshot {
 
 // Reset zeroes all counters.
 func (c *Counters) Reset() { c.v = [NumEvents]uint64{} }
+
+// Restore overwrites the counter file with a previously taken
+// snapshot (checkpoint rehydration).
+func (c *Counters) Restore(s Snapshot) { c.v = s.v }
 
 // Snapshot is an immutable copy of a counter file.
 type Snapshot struct {

@@ -1,0 +1,174 @@
+package difftest
+
+// checkpoint_test.go gates the two perf machineries this package rides
+// on: the event-driven cycle-skip fast path (TestSkipCyclesEquivalence
+// proves skip on/off is bit-identical over the full corpus, per
+// profile) and the checkpoint-based PointRunner
+// (TestPointRunnerMatchesMeasure proves it reproduces the classic
+// fresh-core-per-call entry points exactly, including on repeat
+// measurements served from trained checkpoints).
+
+import (
+	"fmt"
+	"testing"
+
+	"deaduops/internal/cpu"
+	"deaduops/internal/parsweep"
+	"deaduops/internal/perfctr"
+)
+
+// measureSequence replays MeasureDirectionWith's exact run sequence —
+// train ×trainRuns, warm, flush, cold — on a core built from cfg,
+// returning every run's full RunResult for byte-level comparison.
+func measureSequence(cfg cpu.Config, v *Victim, a *cpu.Arena, secret int64) ([trainRuns + 2]cpu.RunResult, error) {
+	var out [trainRuns + 2]cpu.RunResult
+	c := cpu.NewWith(cfg, a)
+	c.LoadProgram(v.Prog)
+	c.Mem().Write(SecretAddr, 1, secret)
+	for i := 0; i < trainRuns+1; i++ {
+		out[i] = c.Run(0, v.Entry, maxCycles)
+	}
+	c.FlushUopCache()
+	out[trainRuns+1] = c.Run(0, v.Entry, maxCycles)
+	for i, r := range out {
+		if r.TimedOut {
+			return out, fmt.Errorf("seed %d: run %d timed out", v.Seed, i)
+		}
+	}
+	return out, nil
+}
+
+// equalModuloSkip compares two RunResults field by field and counter
+// by counter, ignoring only SkippedCycles — the fast path's audit
+// counter, the one value allowed (required) to differ.
+func equalModuloSkip(a, b cpu.RunResult) error {
+	if a.Cycles != b.Cycles || a.Retired != b.Retired || a.TimedOut != b.TimedOut {
+		return fmt.Errorf("results diverged: %+v vs %+v", a, b)
+	}
+	for e := perfctr.Event(0); e < perfctr.NumEvents; e++ {
+		if e == perfctr.SkippedCycles {
+			continue
+		}
+		if x, y := a.Counters.Get(e), b.Counters.Get(e); x != y {
+			return fmt.Errorf("counter %d diverged: %d vs %d", e, x, y)
+		}
+	}
+	return nil
+}
+
+// TestSkipCyclesEquivalence is the acceptance gate for the fast path:
+// over the full 200-seed corpus, both secret directions, and every
+// profile in the matrix, a core with the fast path enabled must
+// produce runs bit-identical — cycles, retirement, every counter
+// except the SkippedCycles audit — to a core ticking every cycle. It
+// also asserts the path is live: across the corpus the skipped-cycle
+// total must be nonzero, or the equivalence would be vacuous.
+func TestSkipCyclesEquivalence(t *testing.T) {
+	for _, p := range matrixProfiles(t) {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			h := NewHarness(p)
+			cfgOn := h.CPUConfig()
+			cfgOff := h.WithoutCycleSkip().CPUConfig()
+			skipped, err := parsweep.MapArena(parsweep.Options{}, corpusSize,
+				func() *cpu.Arena { return new(cpu.Arena) },
+				func(a *cpu.Arena, i int) (uint64, error) {
+					v, err := h.Generate(uint64(i + 1))
+					if err != nil {
+						return 0, err
+					}
+					var total uint64
+					for _, secret := range []int64{1, 0} {
+						on, err := measureSequence(cfgOn, v, a, secret)
+						if err != nil {
+							return 0, err
+						}
+						off, err := measureSequence(cfgOff, v, a, secret)
+						if err != nil {
+							return 0, err
+						}
+						for r := range on {
+							if err := equalModuloSkip(on[r], off[r]); err != nil {
+								return 0, fmt.Errorf("seed %d secret %d run %d: %w", v.Seed, secret, r, err)
+							}
+							if got := off[r].Counters.Get(perfctr.SkippedCycles); got != 0 {
+								return 0, fmt.Errorf("seed %d: disabled fast path skipped %d cycles", v.Seed, got)
+							}
+							total += on[r].Counters.Get(perfctr.SkippedCycles)
+						}
+					}
+					return total, nil
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var total uint64
+			for _, s := range skipped {
+				total += s
+			}
+			if total == 0 {
+				t.Fatalf("fast path never engaged across %d seeds under %s", corpusSize, p.Name)
+			}
+			t.Logf("%s: %d cycles skipped across the corpus, all runs bit-identical", p.Name, total)
+		})
+	}
+}
+
+// pointSeeds bounds the PointRunner equality corpus per profile; each
+// seed costs four classic fresh-core measurements plus four
+// checkpointed ones.
+const pointSeeds = 40
+
+// TestPointRunnerMatchesMeasure proves the checkpointed PointRunner
+// reproduces the classic entry points exactly: per (seed, secret), its
+// Delta must equal MeasureDirectionWith and its switch counts must
+// equal MeasureSwitches — on the first call (trained from the pristine
+// checkpoint) and again on a repeat call (served from the trained
+// checkpoint).
+func TestPointRunnerMatchesMeasure(t *testing.T) {
+	for _, p := range matrixProfiles(t) {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			h := NewHarness(p)
+			_, err := parsweep.MapArena(parsweep.Options{}, pointSeeds,
+				func() *cpu.Arena { return new(cpu.Arena) },
+				func(a *cpu.Arena, i int) (struct{}, error) {
+					var zero struct{}
+					v, err := h.Generate(uint64(i + 1))
+					if err != nil {
+						return zero, err
+					}
+					r := h.NewPointRunner(v, a)
+					for _, secret := range []int64{1, 0} {
+						delta, err := h.MeasureDirectionWith(v, secret, a)
+						if err != nil {
+							return zero, err
+						}
+						warm, cold, err := h.MeasureSwitches(v, secret, a)
+						if err != nil {
+							return zero, err
+						}
+						for pass := 0; pass < 2; pass++ {
+							pt, err := r.Measure(secret)
+							if err != nil {
+								return zero, err
+							}
+							if pt.Delta != delta || pt.WarmSwitches != warm || pt.ColdSwitches != cold {
+								return zero, fmt.Errorf(
+									"seed %d secret %d pass %d: point {Δ%d w%d c%d}, classic {Δ%d w%d c%d}",
+									v.Seed, secret, pass, pt.Delta, pt.WarmSwitches, pt.ColdSwitches,
+									delta, warm, cold)
+							}
+							if pt.TotalCycles == 0 {
+								return zero, fmt.Errorf("seed %d: empty measurement window", v.Seed)
+							}
+						}
+					}
+					return zero, nil
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

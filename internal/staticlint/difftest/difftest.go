@@ -1057,14 +1057,20 @@ func (h *Harness) runVictim(v *Victim, a *cpu.Arena) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	mt, err := h.MeasureDirectionWith(v, 1, a)
+	// One core, one program load, both directions forked from the
+	// pristine checkpoint. The deltas are bit-identical to the classic
+	// fresh-core-per-direction path (TestPointRunnerMatchesMeasure),
+	// so every corpus golden is unchanged by the shared core.
+	r := h.NewPointRunner(v, a)
+	taken, err := r.Measure(1)
 	if err != nil {
 		return Result{}, err
 	}
-	mf, err := h.MeasureDirectionWith(v, 0, a)
+	fall, err := r.Measure(0)
 	if err != nil {
 		return Result{}, err
 	}
+	mt, mf := taken.Delta, fall.Delta
 	return Result{
 		Seed:       v.Seed,
 		PredTaken:  p.Taken,

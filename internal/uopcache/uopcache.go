@@ -396,6 +396,54 @@ func (c *Cache) Fill(thread int, t *Trace) {
 	}
 }
 
+// State is a deep snapshot of the cache's dynamic contents: every way
+// (validity, tags, hotness), the round-robin victim pointers, the
+// privilege domains, the SMT mode, and the counters. Line micro-op
+// slices are shared by header, not copied: a trace's µops are
+// immutable once installed (Fill stores the freshly built slice,
+// LookupAppend copies out of it), so sharing is safe across any
+// number of restores and costs O(ways), not O(µops). Backing arrays
+// are recycled across Save calls; a snapshot only restores into a
+// cache built from the same geometry.
+type State struct {
+	lines     []line
+	victimPtr []int
+	domain    [2]int
+	smtMode   bool
+	stats     Stats
+}
+
+// Save deep-copies the cache contents into s, reusing s's buffers.
+func (c *Cache) Save(s *State) {
+	total := c.cfg.Sets * c.cfg.Ways
+	if cap(s.lines) < total {
+		s.lines = make([]line, total)
+	}
+	s.lines = s.lines[:total]
+	for i, set := range c.sets {
+		copy(s.lines[i*c.cfg.Ways:], set)
+	}
+	s.victimPtr = append(s.victimPtr[:0], c.victimPtr...)
+	s.domain = c.domain
+	s.smtMode = c.smtMode
+	s.stats = c.stats
+}
+
+// Restore overwrites the cache contents from s. It panics if s was
+// saved from a cache with different geometry.
+func (c *Cache) Restore(s *State) {
+	if len(s.lines) != c.cfg.Sets*c.cfg.Ways || len(s.victimPtr) != c.cfg.Sets {
+		panic("uopcache: Restore from a checkpoint with different geometry")
+	}
+	for i, set := range c.sets {
+		copy(set, s.lines[i*c.cfg.Ways:(i+1)*c.cfg.Ways])
+	}
+	copy(c.victimPtr, s.victimPtr)
+	c.domain = s.domain
+	c.smtMode = s.smtMode
+	c.stats = s.stats
+}
+
 // InvalidateCodeLine drops every trace whose region falls inside the
 // 64-byte instruction-cache line at lineAddr — the inclusion property:
 // an L1I eviction forces the corresponding micro-op cache lines out.
